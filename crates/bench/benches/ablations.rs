@@ -1,0 +1,89 @@
+//! Ablation benches (DESIGN.md A1-A4): measure what each Req-block design
+//! choice buys by running the same workload with the mechanism disabled,
+//! plus BPLRU with and without page padding. Prints a comparison table and
+//! times each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::SERIES_SCALE;
+use reqblock_cache::policies::BplruConfig;
+use reqblock_core::{PriorityModel, ReqBlockConfig};
+use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::{profiles, SyntheticTrace};
+
+fn variants() -> Vec<(&'static str, PolicyKind)> {
+    vec![
+        ("reqblock/paper", PolicyKind::ReqBlock(ReqBlockConfig::paper())),
+        (
+            "reqblock/no_split(A1)",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                split_large_on_hit: false,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "reqblock/no_merge(A2)",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                merge_on_evict: false,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "reqblock/no_size_term(A3)",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                priority: PriorityModel::NoSize,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "reqblock/no_age_term(A3)",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                priority: PriorityModel::NoAge,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        ("bplru/no_padding", PolicyKind::Bplru(BplruConfig { page_padding: false })),
+        ("bplru/padding(A4)", PolicyKind::Bplru(BplruConfig { page_padding: true })),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the ablation comparison on the two most revealing workloads.
+    println!("## Ablations (32MB cache, scale {SERIES_SCALE})\n");
+    println!("| variant | trace | hit ratio | avg resp (ms) | flash writes |");
+    println!("|---|---|---|---|---|");
+    for profile in [profiles::src1_2(), profiles::proj_0()] {
+        let profile = profile.scaled(SERIES_SCALE);
+        for (name, policy) in variants() {
+            let r = run_trace(
+                &SimConfig::paper(CacheSizeMb::Mb32, policy),
+                SyntheticTrace::new(profile.clone()),
+            );
+            println!(
+                "| {name} | {} | {:.4} | {:.3} | {} |",
+                profile.name,
+                r.metrics.hit_ratio(),
+                r.metrics.avg_response_ms(),
+                r.flash.user_programs
+            );
+        }
+    }
+    println!();
+    let timing = profiles::ts_0().scaled(reqblock_bench::TIMING_SCALE);
+    for (name, policy) in variants() {
+        c.bench_function(&format!("ablation/{name}"), |b| {
+            b.iter(|| {
+                run_trace(
+                    &SimConfig::paper(CacheSizeMb::Mb32, policy),
+                    SyntheticTrace::new(timing.clone()),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

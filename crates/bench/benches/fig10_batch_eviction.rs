@@ -1,0 +1,36 @@
+//! Figure 10: average pages per eviction — prints the table and times the
+//! eviction-heavy large-write workload per block-granularity policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile_large};
+use reqblock_core::ReqBlockConfig;
+use reqblock_experiments::figures;
+use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let cmp = figures::comparison(&bench_opts());
+    println!("{}", figures::fig10(&cmp).to_markdown());
+    for policy in [
+        PolicyKind::Bplru(Default::default()),
+        PolicyKind::Vbbms(Default::default()),
+        PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+    ] {
+        c.bench_function(&format!("fig10/evictions_proj0/{}", policy.name()), |b| {
+            b.iter(|| {
+                let r = run_trace(
+                    &SimConfig::paper(CacheSizeMb::Mb32, policy),
+                    SyntheticTrace::new(timing_profile_large()),
+                );
+                std::hint::black_box(r.metrics.avg_pages_per_eviction())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

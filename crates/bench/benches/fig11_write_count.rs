@@ -1,0 +1,31 @@
+//! Figure 11: write count to flash — prints the table and times a drained
+//! run (which includes the end-of-trace flush accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_core::ReqBlockConfig;
+use reqblock_experiments::figures;
+use reqblock_sim::runner::run_trace_drained;
+use reqblock_sim::{CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let cmp = figures::comparison(&bench_opts());
+    println!("{}", figures::fig11(&cmp).to_markdown());
+    c.bench_function("fig11/drained_run_ts0_reqblock", |b| {
+        b.iter(|| {
+            let r = run_trace_drained(
+                &SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper())),
+                SyntheticTrace::new(timing_profile()),
+            );
+            std::hint::black_box(r.flash.user_programs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

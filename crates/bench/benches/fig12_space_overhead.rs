@@ -1,0 +1,38 @@
+//! Figure 12: metadata space overhead — prints the table and times the
+//! metadata accounting of each policy under churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::bench_opts;
+use reqblock_cache::{Access, EvictionBatch};
+use reqblock_experiments::figures;
+use reqblock_sim::PolicyKind;
+
+fn bench(c: &mut Criterion) {
+    let cmp = figures::comparison(&bench_opts());
+    println!("{}", figures::fig12(&cmp).to_markdown());
+    for policy in PolicyKind::paper_comparison() {
+        c.bench_function(&format!("fig12/metadata_churn/{}", policy.name()), |b| {
+            b.iter(|| {
+                let mut buf = policy.build(1024, 64);
+                let mut ev: Vec<EvictionBatch> = Vec::new();
+                let mut meta = 0usize;
+                for i in 0..8_192u64 {
+                    let a = Access { lpn: (i * 37) % 16_384, req_id: i, req_pages: 4, now: i };
+                    buf.write(&a, &mut ev);
+                    ev.clear();
+                    if i % 256 == 0 {
+                        meta += buf.metadata_bytes();
+                    }
+                }
+                std::hint::black_box(meta)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

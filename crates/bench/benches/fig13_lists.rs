@@ -1,0 +1,32 @@
+//! Figure 13: Req-block list occupancy over time — prints the per-list
+//! share summary and times a probed Req-block run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_core::ReqBlockConfig;
+use reqblock_experiments::figures;
+use reqblock_sim::probes::{ListOccupancyProbe, Probe};
+use reqblock_sim::{run_trace_probed, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let (_samples, shares) = figures::fig13(&bench_opts());
+    println!("{}", shares.to_markdown());
+    c.bench_function("fig13/probed_reqblock_run_ts0", |b| {
+        b.iter(|| {
+            let cfg =
+                SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
+            let mut probe = ListOccupancyProbe::new(100);
+            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
+            run_trace_probed(&cfg, SyntheticTrace::new(timing_profile()), &mut probes);
+            std::hint::black_box(probe.samples.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

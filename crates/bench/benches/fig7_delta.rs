@@ -1,0 +1,33 @@
+//! Figure 7: delta sensitivity — prints the normalized hit/response series
+//! and times Req-block runs at the extremes of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_core::ReqBlockConfig;
+use reqblock_experiments::figures;
+use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let (hits, resp) = figures::fig7(&bench_opts());
+    println!("{}", hits.to_markdown());
+    println!("{}", resp.to_markdown());
+    for delta in [1u32, 5, 9] {
+        c.bench_function(&format!("fig7/reqblock_delta_{delta}"), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::paper(
+                    CacheSizeMb::Mb32,
+                    PolicyKind::ReqBlock(ReqBlockConfig::with_delta(delta)),
+                );
+                run_trace(&cfg, SyntheticTrace::new(timing_profile()))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

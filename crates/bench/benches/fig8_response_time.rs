@@ -1,0 +1,30 @@
+//! Figure 8: I/O response time comparison — prints the normalized table and
+//! times one run per compared policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_experiments::figures;
+use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let cmp = figures::comparison(&bench_opts());
+    println!("{}", figures::fig8(&cmp).to_markdown());
+    for policy in PolicyKind::paper_comparison() {
+        c.bench_function(&format!("fig8/run_ts0_16MB/{}", policy.name()), |b| {
+            b.iter(|| {
+                run_trace(
+                    &SimConfig::paper(CacheSizeMb::Mb16, policy),
+                    SyntheticTrace::new(timing_profile()),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9: cache hit ratio comparison — prints the normalized table and
+//! times the full (policy x size) sweep for one trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_experiments::figures;
+use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    let cmp = figures::comparison(&bench_opts());
+    println!("{}", figures::fig9(&cmp).to_markdown());
+    c.bench_function("fig9/sweep_ts0_all_policies_all_sizes", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for cache in CacheSizeMb::ALL {
+                for policy in PolicyKind::paper_comparison() {
+                    let r = run_trace(
+                        &SimConfig::paper(cache, policy),
+                        SyntheticTrace::new(timing_profile()),
+                    );
+                    total += r.metrics.hit_ratio();
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Policy micro-benchmarks: raw write/read throughput of every policy's
+//! data structures under a reuse-heavy access pattern (no simulator, no
+//! flash timing — pure cache-operation cost, the §4.2.5 "run-time overhead"
+//! discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reqblock_cache::policies::{BplruConfig, CflruConfig, VbbmsConfig};
+use reqblock_cache::{Access, EvictionBatch};
+use reqblock_core::ReqBlockConfig;
+use reqblock_sim::PolicyKind;
+
+const OPS: u64 = 50_000;
+const CAPACITY: usize = 4_096;
+
+fn access_pattern() -> Vec<Access> {
+    let mut rng = SmallRng::seed_from_u64(0xbeef);
+    let mut out = Vec::with_capacity(OPS as usize);
+    let mut req_id = 0;
+    let mut now = 0;
+    while out.len() < OPS as usize {
+        req_id += 1;
+        // 80 % small (1-4 pages, hot 20 % of space), 20 % large (16-48).
+        let (start, pages) = if rng.gen::<f64>() < 0.8 {
+            (rng.gen_range(0..20_000u64), rng.gen_range(1..=4u64))
+        } else {
+            (rng.gen_range(0..100_000u64), rng.gen_range(16..=48u64))
+        };
+        for i in 0..pages {
+            now += 1;
+            out.push(Access { lpn: start + i, req_id, req_pages: pages as u32, now });
+            if out.len() == OPS as usize {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let pattern = access_pattern();
+    let mut group = c.benchmark_group("policy_micro");
+    group.throughput(Throughput::Elements(OPS));
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::Cflru(CflruConfig::default()),
+        PolicyKind::Fab,
+        PolicyKind::PudLru,
+        PolicyKind::Bplru(BplruConfig::default()),
+        PolicyKind::Vbbms(VbbmsConfig::default()),
+        PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+    ] {
+        group.bench_function(format!("write_mix/{}", policy.name()), |b| {
+            b.iter(|| {
+                let mut buf = policy.build(CAPACITY, 64);
+                let mut ev: Vec<EvictionBatch> = Vec::new();
+                let mut hits = 0u64;
+                for a in &pattern {
+                    if buf.write(a, &mut ev) {
+                        hits += 1;
+                    }
+                    ev.clear();
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

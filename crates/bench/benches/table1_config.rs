@@ -1,0 +1,28 @@
+//! Table 1: SSD configuration — prints the settings table and times config
+//! derivation plus device construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_experiments::figures;
+use reqblock_flash::SsdConfig;
+use reqblock_sim::{CacheSizeMb, PolicyKind, SimConfig, Ssd};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::table1().to_markdown());
+    c.bench_function("table1/config_derivation", |b| {
+        b.iter(|| {
+            let cfg = SsdConfig::paper();
+            cfg.validate().unwrap();
+            std::hint::black_box((cfg.total_pages(), cfg.gc_free_blocks_floor()))
+        })
+    });
+    c.bench_function("table1/device_construction_paper", |b| {
+        b.iter(|| Ssd::new(SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 2: trace specifications — prints paper-vs-measured statistics and
+//! times synthetic trace generation + statistics collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqblock_bench::{bench_opts, timing_profile};
+use reqblock_experiments::figures;
+use reqblock_trace::stats::StatsBuilder;
+use reqblock_trace::SyntheticTrace;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::table2(&bench_opts()).to_markdown());
+    c.bench_function("table2/generate_ts0_9k_requests", |b| {
+        b.iter(|| SyntheticTrace::new(timing_profile()).generate_all())
+    });
+    c.bench_function("table2/stats_ts0_9k_requests", |b| {
+        let reqs = SyntheticTrace::new(timing_profile()).generate_all();
+        b.iter(|| {
+            let mut s = StatsBuilder::new();
+            for r in &reqs {
+                s.add(r);
+            }
+            s.finish()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared plumbing for the criterion benchmark targets.
+//!
+//! Every paper table/figure has a bench target in `benches/` (see the
+//! workspace `DESIGN.md` §5 index). Each target does two things:
+//!
+//! 1. **Regenerate the artifact's series** at benchmark scale and print it,
+//!    so `cargo bench` output contains the same rows the paper reports
+//!    (absolute reproduction numbers come from `repro --full`, which uses
+//!    the paper's exact request counts).
+//! 2. **Time the simulations behind it** with criterion, so performance
+//!    regressions in the simulator or the policies are caught.
+
+use reqblock_experiments::figures::Opts;
+use reqblock_trace::WorkloadProfile;
+
+/// Scale used when a bench regenerates a figure's series (printed once).
+pub const SERIES_SCALE: f64 = 0.02;
+
+/// Scale used for the timed inner loop (kept small so criterion's repeated
+/// sampling stays in seconds).
+pub const TIMING_SCALE: f64 = 0.005;
+
+/// Harness options for series regeneration inside benches.
+pub fn bench_opts() -> Opts {
+    Opts {
+        scale: SERIES_SCALE,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        out_dir: std::path::PathBuf::from("results/bench"),
+        trace_dir: None,
+    }
+}
+
+/// A small timed workload (ts_0-like: high reuse, small writes).
+pub fn timing_profile() -> WorkloadProfile {
+    reqblock_trace::profiles::ts_0().scaled(TIMING_SCALE)
+}
+
+/// A small timed workload with a heavy large-write mix (proj_0-like).
+pub fn timing_profile_large() -> WorkloadProfile {
+    reqblock_trace::profiles::proj_0().scaled(TIMING_SCALE)
+}

@@ -1,0 +1,404 @@
+//! Slab-backed doubly-linked list with stable O(1) handles.
+//!
+//! Every cache policy in this workspace is built on linked lists ("the
+//! adjustment operations on the linked-list cause O(1) time complexity",
+//! paper §4.2.5). A pointer-based list is slow and unsafe-heavy in Rust, so
+//! [`SlabList`] stores nodes in a `Vec` with an internal free list: handles
+//! are indices, removal is O(1), and move-to-front — the hot operation of
+//! every LRU variant — touches at most three nodes.
+//!
+//! # Handle validity
+//!
+//! A [`Handle`] is valid from the `push_*` that returned it until the
+//! `remove` that consumes it. Using a handle after removal is detected when
+//! the slot is still free (panic) but **not** when the slot has been reused;
+//! callers (the policies) therefore always own their handles exclusively via
+//! their lookup maps.
+
+const NIL: u32 = u32::MAX;
+
+/// Opaque index of a live node in a [`SlabList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(u32);
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    prev: u32,
+    next: u32,
+    data: Option<T>,
+}
+
+/// Doubly-linked list over a slab of nodes. Front = most recent by
+/// convention of the policies in this workspace.
+#[derive(Debug, Clone)]
+pub struct SlabList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for SlabList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SlabList<T> {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+    }
+
+    /// Empty list with room for `cap` nodes before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { nodes: Vec::with_capacity(cap), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no node is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, data: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let n = &mut self.nodes[idx as usize];
+            debug_assert!(n.data.is_none());
+            n.data = Some(data);
+            n.prev = NIL;
+            n.next = NIL;
+            idx
+        } else {
+            assert!(self.nodes.len() < NIL as usize, "SlabList exhausted u32 index space");
+            self.nodes.push(Node { prev: NIL, next: NIL, data: Some(data) });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Insert at the front (most-recent end). O(1).
+    pub fn push_front(&mut self, data: T) -> Handle {
+        let idx = self.alloc(data);
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+        Handle(idx)
+    }
+
+    /// Insert at the back (least-recent end). O(1).
+    pub fn push_back(&mut self, data: T) -> Handle {
+        let idx = self.alloc(data);
+        self.nodes[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        Handle(idx)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            debug_assert!(n.data.is_some(), "unlinking a dead node");
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Remove a node, returning its payload. O(1). The handle is dead
+    /// afterwards.
+    pub fn remove(&mut self, h: Handle) -> T {
+        let idx = h.0;
+        self.unlink(idx);
+        let data = self.nodes[idx as usize].data.take().expect("remove on dead handle");
+        self.free.push(idx);
+        self.len -= 1;
+        data
+    }
+
+    /// Move a live node to the front. O(1).
+    pub fn move_to_front(&mut self, h: Handle) {
+        if self.head == h.0 {
+            return;
+        }
+        self.unlink(h.0);
+        let idx = h.0;
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Move a live node to the back. O(1).
+    pub fn move_to_back(&mut self, h: Handle) {
+        if self.tail == h.0 {
+            return;
+        }
+        self.unlink(h.0);
+        let idx = h.0;
+        self.nodes[idx as usize].next = NIL;
+        self.nodes[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+
+    /// Handle of the front node, if any.
+    #[inline]
+    pub fn front(&self) -> Option<Handle> {
+        (self.head != NIL).then_some(Handle(self.head))
+    }
+
+    /// Handle of the back node, if any.
+    #[inline]
+    pub fn back(&self) -> Option<Handle> {
+        (self.tail != NIL).then_some(Handle(self.tail))
+    }
+
+    /// Payload of a live node.
+    #[inline]
+    pub fn get(&self, h: Handle) -> &T {
+        self.nodes[h.0 as usize].data.as_ref().expect("get on dead handle")
+    }
+
+    /// Mutable payload of a live node.
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        self.nodes[h.0 as usize].data.as_mut().expect("get_mut on dead handle")
+    }
+
+    /// Neighbour towards the back (less recent), if any.
+    #[inline]
+    pub fn next_towards_back(&self, h: Handle) -> Option<Handle> {
+        let nxt = self.nodes[h.0 as usize].next;
+        (nxt != NIL).then_some(Handle(nxt))
+    }
+
+    /// Iterate handles from back (least recent) to front. Borrows the list.
+    pub fn iter_from_back(&self) -> IterBack<'_, T> {
+        IterBack { list: self, cur: self.tail }
+    }
+
+    /// Iterate handles from front to back.
+    pub fn iter_from_front(&self) -> IterFront<'_, T> {
+        IterFront { list: self, cur: self.head }
+    }
+}
+
+/// Back-to-front handle iterator.
+pub struct IterBack<'a, T> {
+    list: &'a SlabList<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for IterBack<'a, T> {
+    type Item = Handle;
+    fn next(&mut self) -> Option<Handle> {
+        if self.cur == NIL {
+            return None;
+        }
+        let h = Handle(self.cur);
+        self.cur = self.list.nodes[self.cur as usize].prev;
+        Some(h)
+    }
+}
+
+/// Front-to-back handle iterator.
+pub struct IterFront<'a, T> {
+    list: &'a SlabList<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for IterFront<'a, T> {
+    type Item = Handle;
+    fn next(&mut self) -> Option<Handle> {
+        if self.cur == NIL {
+            return None;
+        }
+        let h = Handle(self.cur);
+        self.cur = self.list.nodes[self.cur as usize].next;
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contents<T: Copy>(l: &SlabList<T>) -> Vec<T> {
+        l.iter_from_front().map(|h| *l.get(h)).collect()
+    }
+
+    #[test]
+    fn push_front_orders_mru_first() {
+        let mut l = SlabList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(contents(&l), vec![3, 2, 1]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn push_back_appends() {
+        let mut l = SlabList::new();
+        l.push_back(1);
+        l.push_back(2);
+        assert_eq!(contents(&l), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_middle_front_back() {
+        let mut l = SlabList::new();
+        let a = l.push_back('a');
+        let b = l.push_back('b');
+        let c = l.push_back('c');
+        assert_eq!(l.remove(b), 'b');
+        assert_eq!(contents(&l), vec!['a', 'c']);
+        assert_eq!(l.remove(a), 'a');
+        assert_eq!(contents(&l), vec!['c']);
+        assert_eq!(l.remove(c), 'c');
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = SlabList::new();
+        let a = l.push_back(1);
+        let _b = l.push_back(2);
+        let _c = l.push_back(3);
+        l.move_to_front(a); // already somewhere else
+        assert_eq!(contents(&l), vec![1, 2, 3][..1].iter().chain([2, 3].iter()).copied().collect::<Vec<_>>());
+        // Clearer assertion:
+        assert_eq!(contents(&l), vec![1, 2, 3]);
+        let c = l.back().unwrap();
+        l.move_to_front(c);
+        assert_eq!(contents(&l), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn move_to_back_reorders() {
+        let mut l = SlabList::new();
+        let a = l.push_back(1);
+        l.push_back(2);
+        l.move_to_back(a);
+        assert_eq!(contents(&l), vec![2, 1]);
+        // Moving the tail is a no-op.
+        l.move_to_back(a);
+        assert_eq!(contents(&l), vec![2, 1]);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut l = SlabList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        let b = l.push_front(2);
+        // The freed slot is recycled: same underlying index.
+        assert_eq!(a.0, b.0);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead handle")]
+    fn get_after_remove_panics() {
+        let mut l = SlabList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        let _ = l.get(a);
+    }
+
+    #[test]
+    fn iter_from_back_is_reverse() {
+        let mut l = SlabList::new();
+        for i in 0..5 {
+            l.push_front(i);
+        }
+        let back: Vec<i32> = l.iter_from_back().map(|h| *l.get(h)).collect();
+        assert_eq!(back, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn next_towards_back_walks_list() {
+        let mut l = SlabList::new();
+        l.push_back(1);
+        l.push_back(2);
+        l.push_back(3);
+        let mut cur = l.front();
+        let mut seen = Vec::new();
+        while let Some(h) = cur {
+            seen.push(*l.get(h));
+            cur = l.next_towards_back(h);
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_element_invariants() {
+        let mut l = SlabList::new();
+        let a = l.push_front(42);
+        assert_eq!(l.front(), Some(a));
+        assert_eq!(l.back(), Some(a));
+        l.move_to_front(a);
+        l.move_to_back(a);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.remove(a), 42);
+    }
+
+    #[test]
+    fn stress_random_ops_maintain_len() {
+        // Deterministic pseudo-random mix of pushes and removals.
+        let mut l = SlabList::new();
+        let mut handles = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if handles.is_empty() || !x.is_multiple_of(3) {
+                handles.push(l.push_front(i));
+            } else {
+                let idx = (x / 3) as usize % handles.len();
+                let h = handles.swap_remove(idx);
+                l.remove(h);
+            }
+            assert_eq!(l.len(), handles.len());
+        }
+        // Walk both ways; lengths must agree.
+        assert_eq!(l.iter_from_front().count(), l.len());
+        assert_eq!(l.iter_from_back().count(), l.len());
+    }
+}

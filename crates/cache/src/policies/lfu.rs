@@ -1,0 +1,177 @@
+//! Page-granularity LFU (related work, §2.1).
+//!
+//! Victim = page with the lowest access frequency; ties broken by age
+//! (earlier insertion evicted first), which makes the policy a member of the
+//! LRFU spectrum the paper cites [24]. Frequencies count both read and write
+//! hits. Metadata: a page node plus a counter (16 B).
+
+use crate::overhead::LFU_NODE_BYTES;
+use crate::policy::{Access, EvictionBatch, WriteBuffer};
+use reqblock_trace::Lpn;
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    freq: u32,
+    /// Monotone insertion sequence for tie-breaking.
+    seq: u64,
+}
+
+/// Page-level LFU write buffer.
+pub struct LfuCache {
+    capacity: usize,
+    entries: HashMap<Lpn, Entry>,
+    /// Ordered victims: (freq, seq, lpn). `first()` is the coldest page.
+    order: BTreeSet<(u32, u64, Lpn)>,
+    next_seq: u64,
+}
+
+impl LfuCache {
+    /// LFU buffer holding up to `capacity_pages` pages.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "cache capacity must be positive");
+        Self {
+            capacity: capacity_pages,
+            entries: HashMap::with_capacity(capacity_pages * 2),
+            order: BTreeSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn bump(&mut self, lpn: Lpn) {
+        let e = self.entries.get_mut(&lpn).expect("bump on uncached page");
+        let removed = self.order.remove(&(e.freq, e.seq, lpn));
+        debug_assert!(removed);
+        e.freq = e.freq.saturating_add(1);
+        self.order.insert((e.freq, e.seq, lpn));
+    }
+
+    fn evict_one(&mut self, evictions: &mut Vec<EvictionBatch>) {
+        let &(freq, seq, lpn) = self.order.iter().next().expect("evicting from empty cache");
+        self.order.remove(&(freq, seq, lpn));
+        self.entries.remove(&lpn);
+        evictions.push(EvictionBatch::striped(vec![lpn]));
+    }
+}
+
+impl WriteBuffer for LfuCache {
+    fn name(&self) -> &str {
+        "LFU"
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.capacity
+    }
+
+    fn len_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, lpn: Lpn) -> bool {
+        self.entries.contains_key(&lpn)
+    }
+
+    fn write(&mut self, a: &Access, evictions: &mut Vec<EvictionBatch>) -> bool {
+        if self.entries.contains_key(&a.lpn) {
+            self.bump(a.lpn);
+            return true;
+        }
+        while self.entries.len() >= self.capacity {
+            self.evict_one(evictions);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(a.lpn, Entry { freq: 1, seq });
+        self.order.insert((1, seq, a.lpn));
+        false
+    }
+
+    fn read(&mut self, a: &Access, _evictions: &mut Vec<EvictionBatch>) -> bool {
+        if self.entries.contains_key(&a.lpn) {
+            self.bump(a.lpn);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.node_count() * LFU_NODE_BYTES
+    }
+
+    fn drain(&mut self) -> Vec<EvictionBatch> {
+        let lpns: Vec<Lpn> = self.order.iter().map(|&(_, _, lpn)| lpn).collect();
+        self.order.clear();
+        self.entries.clear();
+        if lpns.is_empty() {
+            Vec::new()
+        } else {
+            vec![EvictionBatch::striped(lpns)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::*;
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = LfuCache::new(2);
+        write_seq(&mut c, &[1, 2]);
+        // Page 1 gets two extra hits.
+        let mut ev = Vec::new();
+        for now in 0..2 {
+            let a = Access { lpn: 1, req_id: 9, req_pages: 1, now };
+            assert!(c.write(&a, &mut ev));
+        }
+        let ev = write_seq(&mut c, &[3]);
+        assert_eq!(evicted_pages(&ev), vec![2]);
+        assert!(c.contains(1));
+        check_invariants(&c);
+    }
+
+    #[test]
+    fn ties_break_by_age() {
+        let mut c = LfuCache::new(2);
+        write_seq(&mut c, &[1, 2]); // both freq 1; 1 is older
+        let ev = write_seq(&mut c, &[3]);
+        assert_eq!(evicted_pages(&ev), vec![1]);
+    }
+
+    #[test]
+    fn read_hits_count_toward_frequency() {
+        let mut c = LfuCache::new(2);
+        write_seq(&mut c, &[1, 2]);
+        let mut ev = Vec::new();
+        let a = Access { lpn: 1, req_id: 9, req_pages: 1, now: 5 };
+        assert!(c.read(&a, &mut ev));
+        let ev = write_seq(&mut c, &[3]);
+        assert_eq!(evicted_pages(&ev), vec![2]);
+    }
+
+    #[test]
+    fn drain_coldest_first() {
+        let mut c = LfuCache::new(3);
+        write_seq(&mut c, &[1, 2, 3]);
+        let mut ev = Vec::new();
+        let a = Access { lpn: 3, req_id: 9, req_pages: 1, now: 9 };
+        c.write(&a, &mut ev); // 3 now hottest
+        let d = c.drain();
+        let pages = evicted_pages(&d);
+        assert_eq!(pages.last(), Some(&3));
+        assert_eq!(c.len_pages(), 0);
+    }
+
+    #[test]
+    fn metadata_sixteen_bytes_per_node() {
+        let mut c = LfuCache::new(8);
+        write_seq(&mut c, &[1, 2]);
+        assert_eq!(c.metadata_bytes(), 32);
+    }
+}

@@ -1,0 +1,103 @@
+//! Baseline cache policies (see crate docs for the table of schemes).
+
+pub mod bplru;
+pub mod cflru;
+pub mod fab;
+pub mod fifo;
+pub mod lfu;
+pub mod lru;
+pub mod pudlru;
+pub mod vbbms;
+
+pub use bplru::{BplruCache, BplruConfig};
+pub use cflru::{CflruCache, CflruConfig};
+pub use fab::FabCache;
+pub use fifo::FifoCache;
+pub use lfu::LfuCache;
+pub use lru::LruCache;
+pub use pudlru::PudLruCache;
+pub use vbbms::{VbbmsCache, VbbmsConfig};
+
+#[cfg(test)]
+#[allow(dead_code)] // helpers are shared across policy test modules
+pub(crate) mod testutil {
+    //! Shared helpers for policy unit tests.
+
+    use crate::policy::{Access, EvictionBatch, WriteBuffer};
+    use reqblock_trace::Lpn;
+
+    /// Drive a sequence of single-page writes with unique request ids.
+    /// Returns all eviction batches produced.
+    pub fn write_seq<B: WriteBuffer>(buf: &mut B, lpns: &[Lpn]) -> Vec<EvictionBatch> {
+        let mut ev = Vec::new();
+        for (i, &lpn) in lpns.iter().enumerate() {
+            let a = Access { lpn, req_id: 1_000_000 + i as u64, req_pages: 1, now: i as u64 };
+            buf.write(&a, &mut ev);
+        }
+        ev
+    }
+
+    /// Write one multi-page request starting at `start`.
+    pub fn write_req<B: WriteBuffer>(
+        buf: &mut B,
+        req_id: u64,
+        start: Lpn,
+        pages: u64,
+        now: u64,
+        ev: &mut Vec<EvictionBatch>,
+    ) -> usize {
+        let mut hits = 0;
+        for i in 0..pages {
+            let a = Access {
+                lpn: start + i,
+                req_id,
+                req_pages: pages as u32,
+                now: now + i,
+            };
+            if buf.write(&a, ev) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Read one multi-page request; returns page hits.
+    pub fn read_req<B: WriteBuffer>(
+        buf: &mut B,
+        req_id: u64,
+        start: Lpn,
+        pages: u64,
+        now: u64,
+        ev: &mut Vec<EvictionBatch>,
+    ) -> usize {
+        let mut hits = 0;
+        for i in 0..pages {
+            let a = Access {
+                lpn: start + i,
+                req_id,
+                req_pages: pages as u32,
+                now: now + i,
+            };
+            if buf.read(&a, ev) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// All pages evicted so far, flattened in order.
+    pub fn evicted_pages(batches: &[EvictionBatch]) -> Vec<Lpn> {
+        batches.iter().flat_map(|b| b.lpns.iter().copied()).collect()
+    }
+
+    /// Check the universal invariants after a batch of operations.
+    pub fn check_invariants<B: WriteBuffer>(buf: &B) {
+        assert!(
+            buf.len_pages() <= buf.capacity_pages(),
+            "{}: len {} exceeds capacity {}",
+            buf.name(),
+            buf.len_pages(),
+            buf.capacity_pages()
+        );
+    }
+}

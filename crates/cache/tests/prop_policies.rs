@@ -1,0 +1,231 @@
+//! Property-based tests for the baseline policies and the slab list.
+//!
+//! Two kinds of properties:
+//!
+//! * **Universal invariants** every [`WriteBuffer`] must keep under
+//!   arbitrary access sequences: occupancy never exceeds capacity, hit
+//!   reporting agrees with `contains`, page conservation (inserted =
+//!   evicted + resident), and `drain` empties the buffer exactly.
+//! * **Model-based checks**: [`SlabList`] against `VecDeque`, and the LRU
+//!   policy against a reference implementation.
+
+use proptest::prelude::*;
+use reqblock_cache::policies::{
+    BplruCache, BplruConfig, CflruCache, CflruConfig, FabCache, FifoCache, LfuCache, LruCache,
+    PudLruCache, VbbmsCache, VbbmsConfig,
+};
+use reqblock_cache::{Access, EvictionBatch, SlabList, WriteBuffer};
+use std::collections::{HashSet, VecDeque};
+
+/// One step of a generated workload: (is_write, start lpn, pages).
+type Step = (bool, u64, u64);
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u64..400, 1u64..24),
+        1..300,
+    )
+}
+
+fn build_policies(capacity: usize) -> Vec<Box<dyn WriteBuffer>> {
+    vec![
+        Box::new(LruCache::new(capacity)),
+        Box::new(FifoCache::new(capacity)),
+        Box::new(LfuCache::new(capacity)),
+        Box::new(CflruCache::new(capacity, CflruConfig::default())),
+        Box::new(CflruCache::new(
+            capacity,
+            CflruConfig { window_fraction: 0.5, cache_reads: true },
+        )),
+        Box::new(FabCache::new(capacity, 8)),
+        Box::new(PudLruCache::new(capacity, 8)),
+        Box::new(BplruCache::new(capacity, 8, BplruConfig::default())),
+        Box::new(BplruCache::new(capacity, 8, BplruConfig { page_padding: true })),
+        Box::new(VbbmsCache::new(capacity, VbbmsConfig::default())),
+    ]
+}
+
+/// Drive one policy through the steps, checking invariants at every access.
+fn drive(buf: &mut dyn WriteBuffer, steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut resident: HashSet<u64> = HashSet::new();
+    let mut ev: Vec<EvictionBatch> = Vec::new();
+    let mut now = 0u64;
+    for (req_id, &(is_write, start, pages)) in steps.iter().enumerate() {
+        for i in 0..pages {
+            now += 1;
+            let lpn = start + i;
+            let a = Access { lpn, req_id: req_id as u64, req_pages: pages as u32, now };
+            ev.clear();
+            let was_resident = resident.contains(&lpn);
+            let hit = if is_write {
+                buf.write(&a, &mut ev)
+            } else {
+                buf.read(&a, &mut ev)
+            };
+            prop_assert_eq!(
+                hit,
+                was_resident,
+                "{}: hit report disagrees with model for lpn {}",
+                buf.name(),
+                lpn
+            );
+            for batch in &ev {
+                for l in &batch.lpns {
+                    // BPLRU padding writes non-resident pages too; only
+                    // resident ones must leave the model.
+                    resident.remove(l);
+                }
+            }
+            if is_write {
+                resident.insert(lpn);
+            } else if !hit && buf.contains(lpn) {
+                // Read-caching policy inserted a clean page.
+                resident.insert(lpn);
+            }
+            prop_assert!(
+                buf.len_pages() <= buf.capacity_pages(),
+                "{}: over capacity",
+                buf.name()
+            );
+            prop_assert_eq!(
+                buf.len_pages(),
+                resident.len(),
+                "{}: occupancy disagrees with model",
+                buf.name()
+            );
+        }
+    }
+    // contains() agrees with the model for every page we ever touched.
+    for &(_, start, pages) in steps {
+        for lpn in start..start + pages {
+            prop_assert_eq!(
+                buf.contains(lpn),
+                resident.contains(&lpn),
+                "{}: contains({}) disagrees",
+                buf.name(),
+                lpn
+            );
+        }
+    }
+    // Drain returns exactly the residents.
+    let drained = buf.drain();
+    let mut pages: Vec<u64> = drained
+        .iter()
+        .flat_map(|b| b.lpns.iter().copied())
+        .filter(|l| resident.contains(l))
+        .collect();
+    pages.sort_unstable();
+    pages.dedup();
+    prop_assert_eq!(pages.len(), resident.len(), "{}: drain mismatch", buf.name());
+    prop_assert_eq!(buf.len_pages(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_maintain_invariants(steps in steps(), capacity in 8usize..96) {
+        for mut buf in build_policies(capacity) {
+            drive(buf.as_mut(), &steps)?;
+        }
+    }
+
+    /// LRU against a reference implementation (VecDeque of lpns, MRU front).
+    #[test]
+    fn lru_matches_reference_model(steps in steps(), capacity in 4usize..64) {
+        let mut lru = LruCache::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut ev = Vec::new();
+        let mut now = 0;
+        for (req_id, &(is_write, start, pages)) in steps.iter().enumerate() {
+            for i in 0..pages {
+                now += 1;
+                let lpn = start + i;
+                let a = Access { lpn, req_id: req_id as u64, req_pages: pages as u32, now };
+                ev.clear();
+                if is_write {
+                    let hit = lru.write(&a, &mut ev);
+                    if let Some(pos) = model.iter().position(|&l| l == lpn) {
+                        prop_assert!(hit);
+                        model.remove(pos);
+                    } else {
+                        prop_assert!(!hit);
+                        if model.len() == capacity {
+                            let victim = model.pop_back().unwrap();
+                            prop_assert_eq!(&ev[0].lpns, &vec![victim]);
+                        }
+                    }
+                    model.push_front(lpn);
+                } else {
+                    let hit = lru.read(&a, &mut ev);
+                    if let Some(pos) = model.iter().position(|&l| l == lpn) {
+                        prop_assert!(hit);
+                        model.remove(pos);
+                        model.push_front(lpn);
+                    } else {
+                        prop_assert!(!hit);
+                    }
+                }
+            }
+        }
+        // Final content and order must match: drain is LRU-first.
+        let drained = lru.drain();
+        let pages: Vec<u64> = drained.iter().flat_map(|b| b.lpns.iter().copied()).collect();
+        let expect: Vec<u64> = model.iter().rev().copied().collect();
+        prop_assert_eq!(pages, expect);
+    }
+
+    /// SlabList against VecDeque under pushes, pops and moves.
+    #[test]
+    fn slab_list_matches_vecdeque(ops in proptest::collection::vec(0u8..6, 1..200)) {
+        let mut list = SlabList::new();
+        let mut handles = Vec::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    handles.push(list.push_front(next));
+                    model.push_front(next);
+                    next += 1;
+                }
+                2 => {
+                    handles.push(list.push_back(next));
+                    model.push_back(next);
+                    next += 1;
+                }
+                3 if !handles.is_empty() => {
+                    let h = handles.swap_remove((next as usize * 7) % handles.len());
+                    let v = list.remove(h);
+                    let pos = model.iter().position(|&x| x == v).unwrap();
+                    model.remove(pos);
+                }
+                4 if !handles.is_empty() => {
+                    let h = handles[(next as usize * 13) % handles.len()];
+                    let v = *list.get(h);
+                    list.move_to_front(h);
+                    let pos = model.iter().position(|&x| x == v).unwrap();
+                    model.remove(pos);
+                    model.push_front(v);
+                }
+                5 if !handles.is_empty() => {
+                    let h = handles[(next as usize * 17) % handles.len()];
+                    let v = *list.get(h);
+                    list.move_to_back(h);
+                    let pos = model.iter().position(|&x| x == v).unwrap();
+                    model.remove(pos);
+                    model.push_back(v);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+        let front_to_back: Vec<u32> = list.iter_from_front().map(|h| *list.get(h)).collect();
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(front_to_back, expect);
+        let back_to_front: Vec<u32> = list.iter_from_back().map(|h| *list.get(h)).collect();
+        let expect_rev: Vec<u32> = model.iter().rev().copied().collect();
+        prop_assert_eq!(back_to_front, expect_rev);
+    }
+}

@@ -1,0 +1,188 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] <command>
+//!
+//! commands:
+//!   table1      Table 1  (SSD configuration)
+//!   table2      Table 2  (trace specifications, paper vs measured)
+//!   fig2        Figure 2 (insert/hit CDFs vs request size)
+//!   fig3        Figure 3 (large-request hit statistics)
+//!   fig7        Figure 7 (delta sensitivity)
+//!   fig8..fig12 Figures 8-12 (policy comparison grid; run together as `comparison`)
+//!   comparison  Figures 8-12 in one pass (the grid is shared)
+//!   fig13       Figure 13 (list occupancy over time)
+//!   tails       extension: response-time percentiles per policy
+//!   wear        extension: GC activity and write amplification
+//!   ablations   extension: Req-block design-choice ablations (A1-A4)
+//!   export      export a synthetic trace as MSR CSV: export <trace> <path>
+//!   all         everything above (paper artifacts + extensions)
+//! ```
+//!
+//! `--scale` shrinks each trace's request count (default 0.05). `--full`
+//! is shorthand for `--scale 1.0` — the paper's exact request counts
+//! (several minutes of wall time on one core).
+
+use reqblock_experiments::{extensions, figures, figures::Opts};
+use reqblock_experiments::report::{bar_chart, save, Table};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
+         <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
+          tails|wear|ablations|export|all>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Opts, String) {
+    let mut opts = Opts::default();
+    let mut cmd = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.scale = v.parse().unwrap_or_else(|_| usage());
+                if opts.scale <= 0.0 {
+                    usage();
+                }
+            }
+            "--full" => opts.scale = 1.0,
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.threads = v.parse().unwrap_or_else(|_| usage());
+                if opts.threads == 0 {
+                    usage();
+                }
+            }
+            "--out" => {
+                opts.out_dir = args.next().unwrap_or_else(|| usage()).into();
+            }
+            "--trace-dir" => {
+                opts.trace_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            c if !c.starts_with('-') && cmd.is_none() => {
+                cmd = Some(c.to_string());
+                if c == "export" {
+                    let trace = args.next().unwrap_or_else(|| usage());
+                    let path = args.next().unwrap_or_else(|| usage());
+                    return (opts, format!("export {trace} {path}"));
+                }
+            }
+            _ => usage(),
+        }
+    }
+    (opts, cmd.unwrap_or_else(|| usage()))
+}
+
+fn emit(opts: &Opts, name: &str, tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.to_markdown());
+    }
+    if let Err(e) = save(&opts.out_dir, name, tables) {
+        eprintln!("warning: could not write {}/{}: {e}", opts.out_dir.display(), name);
+    } else {
+        println!("[saved {}/{name}.md and .csv]\n", opts.out_dir.display());
+    }
+}
+
+fn run_comparison_figs(opts: &Opts, which: &str) {
+    let t0 = Instant::now();
+    eprintln!(
+        "running comparison grid (4 policies x 3 sizes x 6 traces, scale {}) ...",
+        opts.scale
+    );
+    let cmp = figures::comparison(opts);
+    eprintln!("grid done in {:.1?}", t0.elapsed());
+    let all = [
+        ("fig8", vec![figures::fig8(&cmp)]),
+        ("fig9", vec![figures::fig9(&cmp)]),
+        ("fig10", vec![figures::fig10(&cmp)]),
+        ("fig11", vec![figures::fig11(&cmp)]),
+        ("fig12", vec![figures::fig12(&cmp)]),
+        ("summary", vec![figures::summary(&cmp)]),
+    ];
+    for (name, tables) in all {
+        if which == "comparison" || which == "all" || which == name {
+            emit(opts, name, &tables);
+        }
+    }
+    if which == "comparison" || which == "all" {
+        let means = figures::policy_means(&cmp);
+        let resp: Vec<(String, f64)> = means.iter().map(|(n, r, _)| (n.clone(), *r)).collect();
+        let hits: Vec<(String, f64)> = means.iter().map(|(n, _, h)| (n.clone(), *h)).collect();
+        println!("{}", bar_chart("mean response time (normalized to LRU, lower is better)", &resp, 40));
+        println!("{}", bar_chart("mean hit ratio (normalized to Req-block, higher is better)", &hits, 40));
+    }
+}
+
+fn main() -> ExitCode {
+    let (opts, cmd) = parse_args();
+    let t0 = Instant::now();
+    match cmd.as_str() {
+        "table1" => emit(&opts, "table1", &[figures::table1()]),
+        "table2" => emit(&opts, "table2", &[figures::table2(&opts)]),
+        "fig2" | "fig3" => {
+            let (f2, f3) = figures::fig2_fig3(&opts);
+            if cmd == "fig2" {
+                emit(&opts, "fig2", &[f2]);
+            } else {
+                emit(&opts, "fig3", &[f3]);
+            }
+        }
+        "fig7" => {
+            let (hits, resp) = figures::fig7(&opts);
+            emit(&opts, "fig7", &[hits, resp]);
+        }
+        "comparison" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" => {
+            run_comparison_figs(&opts, &cmd);
+        }
+        "fig13" => {
+            let (samples, shares) = figures::fig13(&opts);
+            emit(&opts, "fig13", &[shares, samples]);
+        }
+        "tails" => emit(&opts, "tails", &[extensions::tails(&opts)]),
+        "wear" => emit(&opts, "wear", &[extensions::wear(&opts)]),
+        "ablations" => emit(&opts, "ablations", &[extensions::ablations(&opts)]),
+        cmd if cmd.starts_with("export ") => {
+            let mut parts = cmd.split_whitespace().skip(1);
+            let trace = parts.next().unwrap_or_else(|| usage());
+            let path = parts.next().unwrap_or_else(|| usage());
+            let profile = reqblock_trace::profiles::profile_by_name(trace)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown trace {trace:?}");
+                    std::process::exit(2);
+                })
+                .scaled(opts.scale);
+            let reqs: Vec<reqblock_trace::Request> =
+                reqblock_trace::SyntheticTrace::new(profile).generate_all();
+            reqblock_trace::msr::write_file(std::path::Path::new(path), &reqs)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            println!("wrote {} requests to {path} (MSR CSV format)", reqs.len());
+        }
+        "all" => {
+            emit(&opts, "table1", &[figures::table1()]);
+            emit(&opts, "table2", &[figures::table2(&opts)]);
+            let (f2, f3) = figures::fig2_fig3(&opts);
+            emit(&opts, "fig2", &[f2]);
+            emit(&opts, "fig3", &[f3]);
+            let (hits, resp) = figures::fig7(&opts);
+            emit(&opts, "fig7", &[hits, resp]);
+            run_comparison_figs(&opts, "all");
+            let (samples, shares) = figures::fig13(&opts);
+            emit(&opts, "fig13", &[shares, samples]);
+            emit(&opts, "tails", &[extensions::tails(&opts)]);
+            emit(&opts, "wear", &[extensions::wear(&opts)]);
+            emit(&opts, "ablations", &[extensions::ablations(&opts)]);
+        }
+        _ => usage(),
+    }
+    eprintln!("total {:.1?}", t0.elapsed());
+    ExitCode::SUCCESS
+}

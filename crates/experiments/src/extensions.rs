@@ -1,0 +1,185 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * [`tails`] — response-time percentiles per policy (the paper reports
+//!   means only; the policies differ most in their tails).
+//! * [`wear`] — GC activity, write amplification and wear ceiling per
+//!   policy over a cache-pressure workload.
+//! * [`ablations`] — what each Req-block design choice buys (DESIGN.md
+//!   A1-A4), measured head-to-head.
+
+use crate::figures::Opts;
+use crate::report::{f2, f3, Table};
+use reqblock_cache::policies::BplruConfig;
+use reqblock_core::{PriorityModel, ReqBlockConfig};
+use reqblock_sim::{run_jobs, CacheSizeMb, Job, PolicyKind, SimConfig, TraceSource};
+
+/// Percentile columns reported by [`tails`].
+pub const TAIL_QUANTILES: [(f64, &str); 4] =
+    [(0.50, "p50 (ms)"), (0.95, "p95 (ms)"), (0.99, "p99 (ms)"), (1.0, "max (ms)")];
+
+/// Response-time tail percentiles for the four compared policies, 32 MB.
+pub fn tails(opts: &Opts) -> Table {
+    let mut cols = vec!["Trace", "Policy", "mean (ms)"];
+    for (_, label) in TAIL_QUANTILES {
+        cols.push(label);
+    }
+    let mut t = Table::new("Extension - Response time percentiles (32MB)", &cols);
+    let jobs: Vec<Job> = opts
+        .profiles()
+        .into_iter()
+        .flat_map(|profile| {
+            PolicyKind::paper_comparison().into_iter().map(move |policy| Job {
+                label: format!("{}/{}", profile.name, policy.name()),
+                cfg: SimConfig::paper(CacheSizeMb::Mb32, policy),
+                source: TraceSource::Synthetic(profile.clone()),
+            })
+        })
+        .collect();
+    for (label, r) in run_jobs(&jobs, opts.threads) {
+        let (trace, policy) = label.split_once('/').expect("label format");
+        let mut row = vec![trace.to_string(), policy.to_string(), f3(r.metrics.avg_response_ms())];
+        for (q, _) in TAIL_QUANTILES {
+            row.push(f3(r.metrics.response_percentile_ms(q)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// GC / wear statistics per policy on the most write-intensive workload.
+pub fn wear(opts: &Opts) -> Table {
+    let mut t = Table::new(
+        "Extension - GC activity and write amplification (proj_0-like, 32MB)",
+        &["Policy", "User programs", "GC programs", "GC runs", "Erases", "WA"],
+    );
+    let profile = reqblock_trace::profiles::proj_0().scaled(opts.scale);
+    let jobs: Vec<Job> = PolicyKind::paper_comparison()
+        .into_iter()
+        .map(|policy| Job {
+            label: policy.name().to_string(),
+            cfg: SimConfig::paper(CacheSizeMb::Mb32, policy),
+            source: TraceSource::Synthetic(profile.clone()),
+        })
+        .collect();
+    for (label, r) in run_jobs(&jobs, opts.threads) {
+        t.push_row(vec![
+            label,
+            r.flash.user_programs.to_string(),
+            r.flash.gc_programs.to_string(),
+            r.ftl.gc_runs.to_string(),
+            r.flash.erases.to_string(),
+            f2(r.flash.write_amplification()),
+        ]);
+    }
+    t
+}
+
+/// The Req-block/BPLRU ablation variants (DESIGN.md A1-A4).
+pub fn ablation_variants() -> Vec<(&'static str, PolicyKind)> {
+    vec![
+        ("Req-block (paper)", PolicyKind::ReqBlock(ReqBlockConfig::paper())),
+        (
+            "A1: no DRL split",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                split_large_on_hit: false,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "A2: no downgraded merge",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                merge_on_evict: false,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "A3: Eq.1 without size term",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                priority: PriorityModel::NoSize,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        (
+            "A3: Eq.1 without age term",
+            PolicyKind::ReqBlock(ReqBlockConfig {
+                priority: PriorityModel::NoAge,
+                ..ReqBlockConfig::paper()
+            }),
+        ),
+        ("BPLRU without padding", PolicyKind::Bplru(BplruConfig { page_padding: false })),
+        ("A4: BPLRU with padding", PolicyKind::Bplru(BplruConfig { page_padding: true })),
+    ]
+}
+
+/// Ablation comparison on the two most revealing workloads.
+pub fn ablations(opts: &Opts) -> Table {
+    let mut t = Table::new(
+        "Extension - Ablations (32MB)",
+        &["Variant", "Trace", "Hit ratio", "Avg resp (ms)", "Flash writes", "Pages/eviction"],
+    );
+    let mut jobs = Vec::new();
+    for profile in ["src1_2", "proj_0"]
+        .iter()
+        .map(|n| reqblock_trace::profiles::profile_by_name(n).expect("known trace"))
+    {
+        let profile = profile.scaled(opts.scale);
+        for (name, policy) in ablation_variants() {
+            jobs.push(Job {
+                label: format!("{name}|{}", profile.name),
+                cfg: SimConfig::paper(CacheSizeMb::Mb32, policy),
+                source: TraceSource::Synthetic(profile.clone()),
+            });
+        }
+    }
+    for (label, r) in run_jobs(&jobs, opts.threads) {
+        let (name, trace) = label.split_once('|').expect("label format");
+        t.push_row(vec![
+            name.to_string(),
+            trace.to_string(),
+            f3(r.metrics.hit_ratio()),
+            f3(r.metrics.avg_response_ms()),
+            r.flash.user_programs.to_string(),
+            f2(r.metrics.avg_pages_per_eviction()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tiny_opts() -> Opts {
+        Opts { scale: 0.001, threads: 2, out_dir: PathBuf::from("/tmp"), trace_dir: None }
+    }
+
+    #[test]
+    fn tails_has_row_per_trace_policy() {
+        let t = tails(&tiny_opts());
+        assert_eq!(t.rows.len(), 24); // 6 traces x 4 policies
+        // p50 <= p99 <= max per row.
+        for row in &t.rows {
+            let p50: f64 = row[3].parse().unwrap();
+            let p99: f64 = row[5].parse().unwrap();
+            let max: f64 = row[6].parse().unwrap();
+            assert!(p50 <= p99 + 1e-9 && p99 <= max + 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn wear_reports_four_policies() {
+        let t = wear(&tiny_opts());
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let wa: f64 = row[5].parse().unwrap();
+            assert!(wa >= 1.0);
+        }
+    }
+
+    #[test]
+    fn ablations_cover_all_variants() {
+        let t = ablations(&tiny_opts());
+        assert_eq!(t.rows.len(), ablation_variants().len() * 2);
+    }
+}

@@ -1,0 +1,645 @@
+//! Per-figure experiment runners. See the crate docs for the index.
+
+use crate::report::{f2, f3, pct, Table};
+use reqblock_core::ReqBlockConfig;
+use reqblock_sim::probes::{LargeReqHitProbe, ListOccupancyProbe, Probe, SizeCdfProbe};
+use reqblock_sim::{run_jobs, run_trace_probed, CacheSizeMb, Job, PolicyKind, RunResult, SimConfig, TraceSource};
+use reqblock_trace::stats::StatsBuilder;
+use reqblock_trace::{paper_profiles, WorkloadProfile};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Harness options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Trace scale factor (1.0 = the paper's full request counts). Applies
+    /// to synthetic workloads only; real trace files replay in full.
+    pub scale: f64,
+    /// Worker threads for independent runs.
+    pub threads: usize,
+    /// Output directory for `results/*.md` and `*.csv`.
+    pub out_dir: PathBuf,
+    /// Directory holding the paper's original traces as `<name>.csv` in
+    /// MSR format (e.g. `hm_1.csv`). When a file exists for a workload, it
+    /// replaces the synthetic stand-in for every experiment.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            out_dir: PathBuf::from("results"),
+            trace_dir: None,
+        }
+    }
+}
+
+impl Opts {
+    /// The six paper workloads at this scale.
+    pub fn profiles(&self) -> Vec<WorkloadProfile> {
+        paper_profiles().into_iter().map(|p| p.scaled(self.scale)).collect()
+    }
+
+    /// The trace source for one workload: the real trace file when
+    /// `trace_dir/<name>.csv` exists, the calibrated synthetic otherwise.
+    pub fn source_for(&self, profile: &WorkloadProfile) -> TraceSource {
+        if let Some(dir) = &self.trace_dir {
+            let path = dir.join(format!("{}.csv", profile.name));
+            if path.exists() {
+                return TraceSource::MsrFile(path);
+            }
+        }
+        TraceSource::Synthetic(profile.clone())
+    }
+
+    /// Materialized requests for one workload (probed experiments).
+    pub fn requests_for(&self, profile: &WorkloadProfile) -> Vec<reqblock_trace::Request> {
+        self.source_for(profile).requests()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Table 1: the SSD configuration in effect (paper values by construction).
+pub fn table1() -> Table {
+    let c = reqblock_flash::SsdConfig::paper();
+    let mut t = Table::new("Table 1 - Experimental settings of the SSD model", &["Parameter", "Value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Capacity", format!("{} GB", c.capacity_bytes >> 30)),
+        ("Channel Size", c.channels.to_string()),
+        ("Chip Size", c.chips_per_channel.to_string()),
+        ("Page per block", c.pages_per_block.to_string()),
+        ("Page Size", format!("{} KB", c.page_size / 1024)),
+        ("FTL Scheme", "Page level".into()),
+        ("Read latency", format!("{} ms", c.read_latency_ns as f64 / 1e6)),
+        ("Write latency", format!("{} ms", c.program_latency_ns as f64 / 1e6)),
+        ("Erase latency", format!("{} ms", c.erase_latency_ns as f64 / 1e6)),
+        ("Transfer (Byte)", format!("{} ns", c.transfer_ns_per_byte)),
+        ("GC Threshold", pct(c.gc_threshold)),
+        ("DRAM Cache", "16/32/64 MB".into()),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_string(), v]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+/// Paper values of Table 2 per trace:
+/// `(requests, write_ratio, write_kb, freq_r, freq_r_wr)`.
+pub const TABLE2_PAPER: [(&str, u64, f64, f64, f64, f64); 6] = [
+    ("hm_1", 609_312, 0.047, 20.0, 0.461, 0.839),
+    ("lun_1", 1_894_391, 0.332, 18.6, 0.124, 0.128),
+    ("usr_0", 2_237_889, 0.596, 10.3, 0.529, 0.329),
+    ("src1_2", 1_907_773, 0.746, 32.5, 0.796, 0.391),
+    ("ts_0", 1_801_734, 0.824, 8.0, 0.430, 0.581),
+    ("proj_0", 4_224_525, 0.875, 40.9, 0.625, 0.599),
+];
+
+/// Table 2: paper trace specifications vs the synthetic traces' measured
+/// statistics (at the harness scale).
+pub fn table2(opts: &Opts) -> Table {
+    let mut t = Table::new(
+        format!("Table 2 - Trace specifications (synthetic, scale {})", opts.scale),
+        &[
+            "Trace",
+            "Req # (paper)",
+            "Req # (ours)",
+            "Wr ratio (paper)",
+            "Wr ratio (ours)",
+            "Wr size KB (paper)",
+            "Wr size KB (ours)",
+            "Frequent R (paper)",
+            "Frequent R (ours)",
+            "Frequent Wr (paper)",
+            "Frequent Wr (ours)",
+        ],
+    );
+    for (profile, paper) in opts.profiles().into_iter().zip(TABLE2_PAPER) {
+        let mut b = StatsBuilder::new();
+        for req in opts.requests_for(&profile) {
+            b.add(&req);
+        }
+        let s = b.finish();
+        t.push_row(vec![
+            profile.name.clone(),
+            paper.1.to_string(),
+            s.requests.to_string(),
+            pct(paper.2),
+            pct(s.write_ratio),
+            f2(paper.3),
+            f2(s.mean_write_kb),
+            pct(paper.4),
+            pct(s.frequent_ratio),
+            pct(paper.5),
+            pct(s.frequent_write_ratio),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figures 2 and 3 (shared runs: LRU, 16 MB, probed)
+// ---------------------------------------------------------------------
+
+/// Request-size thresholds (pages) at which the Figure 2 CDFs are reported.
+pub const FIG2_SIZES: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Figures 2 and 3 from one probed LRU/16MB run per trace.
+pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
+    let mut fig2 = Table::new(
+        "Figure 2 - CDF of page inserts and hits vs write request size (16MB cache, LRU)",
+        &{
+            let mut cols = vec!["Trace", "Series"];
+            cols.extend(FIG2_SIZES.iter().map(|s| {
+                // leak: tiny, once-per-run label strings
+                Box::leak(format!("<= {s}p").into_boxed_str()) as &str
+            }));
+            cols
+        },
+    );
+    let mut fig3 = Table::new(
+        "Figure 3 - Hit statistics of large-request pages (16MB cache, LRU)",
+        &["Trace", "Large threshold (pages)", "Pages hit", "Pages not hit", "Hit fraction"],
+    );
+    for profile in opts.profiles() {
+        let requests = opts.requests_for(&profile);
+        // The paper's "small" cut-off: the trace's mean request size.
+        let mut b = StatsBuilder::new();
+        for req in &requests {
+            b.add(req);
+        }
+        let s = b.finish();
+        let total_reqs = s.requests;
+        let mean_req_pages = if total_reqs == 0 {
+            1.0
+        } else {
+            s.total_page_accesses as f64 / total_reqs as f64
+        };
+        let threshold = mean_req_pages.round().max(1.0) as u32;
+
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
+        let mut cdf = SizeCdfProbe::new();
+        let mut large = LargeReqHitProbe::new(threshold);
+        {
+            let mut probes: [&mut dyn Probe; 2] = [&mut cdf, &mut large];
+            run_trace_probed(&cfg, requests, &mut probes);
+        }
+        large.finish();
+
+        let insert_row: Vec<String> =
+            FIG2_SIZES.iter().map(|&s| f3(cdf.insert_fraction_upto(s))).collect();
+        let hit_row: Vec<String> =
+            FIG2_SIZES.iter().map(|&s| f3(cdf.hit_fraction_upto(s))).collect();
+        let mut r1 = vec![profile.name.clone(), "Page Insert".into()];
+        r1.extend(insert_row);
+        fig2.push_row(r1);
+        let mut r2 = vec![profile.name.clone(), "Page Hit".into()];
+        r2.extend(hit_row);
+        fig2.push_row(r2);
+
+        fig3.push_row(vec![
+            profile.name.clone(),
+            threshold.to_string(),
+            large.episodes_hit.to_string(),
+            (large.episodes - large.episodes_hit).to_string(),
+            pct(large.hit_fraction()),
+        ]);
+    }
+    (fig2, fig3)
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: delta sensitivity
+// ---------------------------------------------------------------------
+
+/// Delta values swept by the Figure 7 reproduction.
+pub const FIG7_DELTAS: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 9];
+
+/// Figure 7: hit ratio and response time of Req-block at 32 MB for a range
+/// of delta values, normalized to delta = 1.
+pub fn fig7(opts: &Opts) -> (Table, Table) {
+    let jobs: Vec<Job> = opts
+        .profiles()
+        .into_iter()
+        .flat_map(|profile| {
+            FIG7_DELTAS.into_iter().map(move |delta| Job {
+                label: format!("{}/d{}", profile.name, delta),
+                cfg: SimConfig::paper(
+                    CacheSizeMb::Mb32,
+                    PolicyKind::ReqBlock(ReqBlockConfig::with_delta(delta)),
+                ),
+                source: opts.source_for(&profile),
+            })
+        })
+        .collect();
+    let results = run_jobs(&jobs, opts.threads);
+
+    let delta_cols: Vec<String> = FIG7_DELTAS.iter().map(|d| format!("d={d}")).collect();
+    let mut cols: Vec<&str> = vec!["Trace"];
+    cols.extend(delta_cols.iter().map(|s| s.as_str()));
+    let mut hits = Table::new(
+        "Figure 7a - Hit ratio vs delta (32MB, normalized to delta=1)",
+        &cols,
+    );
+    let mut resp = Table::new(
+        "Figure 7b - I/O response time vs delta (32MB, normalized to delta=1)",
+        &cols,
+    );
+
+    let by_label: HashMap<&str, &RunResult> =
+        results.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    for profile in opts.profiles() {
+        let base = &by_label[format!("{}/d1", profile.name).as_str()];
+        let base_hit = base.metrics.hit_ratio();
+        let base_resp = base.metrics.avg_response_ms();
+        let mut hrow = vec![profile.name.clone()];
+        let mut rrow = vec![profile.name.clone()];
+        for d in FIG7_DELTAS {
+            let r = &by_label[format!("{}/d{}", profile.name, d).as_str()];
+            hrow.push(f3(r.metrics.hit_ratio() / base_hit.max(f64::MIN_POSITIVE)));
+            rrow.push(f3(r.metrics.avg_response_ms() / base_resp.max(f64::MIN_POSITIVE)));
+        }
+        hits.push_row(hrow);
+        resp.push_row(rrow);
+    }
+    (hits, resp)
+}
+
+// ---------------------------------------------------------------------
+// Figures 8-12: the policy comparison grid
+// ---------------------------------------------------------------------
+
+/// Results of the (policy x cache size x trace) grid behind Figures 8-12.
+pub struct Comparison {
+    /// `(trace, cache, policy_name) -> result`.
+    results: HashMap<(String, CacheSizeMb, &'static str), RunResult>,
+    traces: Vec<String>,
+}
+
+impl Comparison {
+    /// Look up one run.
+    pub fn get(&self, trace: &str, cache: CacheSizeMb, policy: &'static str) -> &RunResult {
+        &self.results[&(trace.to_string(), cache, policy)]
+    }
+
+    /// Trace names in paper order.
+    pub fn traces(&self) -> &[String] {
+        &self.traces
+    }
+}
+
+/// Policy display names in the paper's comparison order.
+pub const COMPARISON_POLICIES: [&str; 4] = ["LRU", "BPLRU", "VBBMS", "Req-block"];
+
+/// Run the full comparison grid (4 policies x 3 cache sizes x 6 traces).
+pub fn comparison(opts: &Opts) -> Comparison {
+    let mut jobs = Vec::new();
+    let mut keys = Vec::new();
+    for profile in opts.profiles() {
+        for cache in CacheSizeMb::ALL {
+            for policy in PolicyKind::paper_comparison() {
+                keys.push((profile.name.clone(), cache, policy.name()));
+                jobs.push(Job {
+                    label: format!("{}/{}/{}", profile.name, cache, policy.name()),
+                    cfg: SimConfig::paper(cache, policy),
+                    source: opts.source_for(&profile),
+                });
+            }
+        }
+    }
+    let results = run_jobs(&jobs, opts.threads);
+    let map = keys
+        .into_iter()
+        .zip(results)
+        .map(|(key, (_label, result))| (key, result))
+        .collect();
+    Comparison {
+        results: map,
+        traces: opts.profiles().iter().map(|p| p.name.clone()).collect(),
+    }
+}
+
+/// Figure 8: mean I/O response time normalized to LRU, plus LRU absolute ms.
+pub fn fig8(cmp: &Comparison) -> Table {
+    let mut cols = vec!["Trace", "Cache"];
+    cols.extend(COMPARISON_POLICIES);
+    cols.push("LRU abs (ms)");
+    let mut t = Table::new("Figure 8 - I/O response time (normalized to LRU)", &cols);
+    for trace in cmp.traces() {
+        for cache in CacheSizeMb::ALL {
+            let lru = cmp.get(trace, cache, "LRU").metrics.avg_response_ms();
+            let mut row = vec![trace.clone(), cache.to_string()];
+            for p in COMPARISON_POLICIES {
+                let v = cmp.get(trace, cache, p).metrics.avg_response_ms();
+                row.push(f3(v / lru.max(f64::MIN_POSITIVE)));
+            }
+            row.push(f3(lru));
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+/// Figure 9: hit ratio normalized to Req-block, plus Req-block absolute.
+pub fn fig9(cmp: &Comparison) -> Table {
+    let mut cols = vec!["Trace", "Cache"];
+    cols.extend(COMPARISON_POLICIES);
+    cols.push("Req-block abs");
+    let mut t = Table::new("Figure 9 - Cache hit ratio (normalized to Req-block)", &cols);
+    for trace in cmp.traces() {
+        for cache in CacheSizeMb::ALL {
+            let rb = cmp.get(trace, cache, "Req-block").metrics.hit_ratio();
+            let mut row = vec![trace.clone(), cache.to_string()];
+            for p in COMPARISON_POLICIES {
+                let v = cmp.get(trace, cache, p).metrics.hit_ratio();
+                row.push(f3(v / rb.max(f64::MIN_POSITIVE)));
+            }
+            row.push(f3(rb));
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+/// Figure 10: mean pages per eviction at 32 MB (block-granularity schemes).
+pub fn fig10(cmp: &Comparison) -> Table {
+    let mut cols = vec!["Trace"];
+    cols.extend(["BPLRU", "VBBMS", "Req-block"]);
+    let mut t = Table::new("Figure 10 - Average pages per eviction (32MB)", &cols);
+    for trace in cmp.traces() {
+        let mut row = vec![trace.clone()];
+        for p in ["BPLRU", "VBBMS", "Req-block"] {
+            row.push(f2(cmp.get(trace, CacheSizeMb::Mb32, p).metrics.avg_pages_per_eviction()));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 11: flash write count (user flush programs, 10^6) at 32 MB.
+pub fn fig11(cmp: &Comparison) -> Table {
+    let mut cols = vec!["Trace"];
+    cols.extend(COMPARISON_POLICIES);
+    let mut t = Table::new("Figure 11 - Write count to flash (x10^6, 32MB)", &cols);
+    for trace in cmp.traces() {
+        let mut row = vec![trace.clone()];
+        for p in COMPARISON_POLICIES {
+            row.push(f3(cmp.get(trace, CacheSizeMb::Mb32, p).flash_user_writes() as f64 / 1e6));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 12: mean metadata size (KB) per scheme and cache size, averaged
+/// over traces, with the overhead as a fraction of cache capacity.
+pub fn fig12(cmp: &Comparison) -> Table {
+    let mut cols = vec!["Cache"];
+    for p in COMPARISON_POLICIES {
+        cols.push(p);
+    }
+    let mut t = Table::new("Figure 12 - Space overhead (KB, mean over traces)", &cols);
+    for cache in CacheSizeMb::ALL {
+        let mut row = vec![cache.to_string()];
+        for p in COMPARISON_POLICIES {
+            let mean_bytes: f64 = cmp
+                .traces()
+                .iter()
+                .map(|tr| cmp.get(tr, cache, p).metrics.avg_metadata_bytes())
+                .sum::<f64>()
+                / cmp.traces().len() as f64;
+            let frac = mean_bytes / (cache.pages() as f64 * 4096.0);
+            row.push(format!("{:.1} ({:.2}%)", mean_bytes / 1024.0, frac * 100.0));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Mean normalized response time and hit ratio per policy (bar-chart data
+/// for the `repro` terminal output).
+pub fn policy_means(cmp: &Comparison) -> Vec<(String, f64, f64)> {
+    COMPARISON_POLICIES
+        .iter()
+        .map(|&p| {
+            let mut resp = 0.0;
+            let mut hits = 0.0;
+            let mut n = 0.0;
+            for trace in cmp.traces() {
+                for cache in CacheSizeMb::ALL {
+                    let lru = cmp.get(trace, cache, "LRU").metrics.avg_response_ms();
+                    let rb = cmp.get(trace, cache, "Req-block").metrics.hit_ratio();
+                    let r = cmp.get(trace, cache, p);
+                    resp += r.metrics.avg_response_ms() / lru.max(f64::MIN_POSITIVE);
+                    hits += r.metrics.hit_ratio() / rb.max(f64::MIN_POSITIVE);
+                    n += 1.0;
+                }
+            }
+            (p.to_string(), resp / n, hits / n)
+        })
+        .collect()
+}
+
+/// Headline summary: mean improvement of Req-block over each baseline, in
+/// the same terms the paper quotes (§4.2.2, §4.2.3, §4.2.4).
+pub fn summary(cmp: &Comparison) -> Table {
+    let mut t = Table::new(
+        "Summary - Req-block vs baselines (mean over traces and cache sizes)",
+        &["Baseline", "Response time reduction", "Hit ratio improvement", "Flash write reduction"],
+    );
+    for base in ["LRU", "BPLRU", "VBBMS"] {
+        let mut resp_gain = 0.0;
+        let mut hit_gain = 0.0;
+        let mut write_gain = 0.0;
+        let mut n_rh = 0.0;
+        let mut n_w = 0.0;
+        for trace in cmp.traces() {
+            for cache in CacheSizeMb::ALL {
+                let rb = cmp.get(trace, cache, "Req-block");
+                let bl = cmp.get(trace, cache, base);
+                resp_gain += 1.0
+                    - rb.metrics.avg_response_ms()
+                        / bl.metrics.avg_response_ms().max(f64::MIN_POSITIVE);
+                hit_gain += rb.metrics.hit_ratio() / bl.metrics.hit_ratio().max(f64::MIN_POSITIVE)
+                    - 1.0;
+                n_rh += 1.0;
+            }
+            // The paper's write-count comparison is at 32 MB.
+            let rb = cmp.get(trace, CacheSizeMb::Mb32, "Req-block");
+            let bl = cmp.get(trace, CacheSizeMb::Mb32, base);
+            write_gain +=
+                1.0 - rb.flash_user_writes() as f64 / (bl.flash_user_writes() as f64).max(1.0);
+            n_w += 1.0;
+        }
+        t.push_row(vec![
+            base.to_string(),
+            pct(resp_gain / n_rh),
+            pct(hit_gain / n_rh),
+            pct(write_gain / n_w),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: list occupancy over time
+// ---------------------------------------------------------------------
+
+/// Figure 13: Req-block per-list page counts sampled every `10_000 * scale`
+/// requests at 32 MB (the paper samples every 10 000 at full scale).
+pub fn fig13(opts: &Opts) -> (Table, Table) {
+    let sample_every = ((10_000.0 * opts.scale) as u64).max(100);
+    let mut samples_table = Table::new(
+        format!("Figure 13 - Req-block list occupancy (32MB, sampled every {sample_every} requests)"),
+        &["Trace", "Request #", "IRL pages", "SRL pages", "DRL pages"],
+    );
+    let mut shares = Table::new(
+        "Figure 13 (summary) - Mean share of cached pages per list",
+        &["Trace", "IRL", "SRL", "DRL"],
+    );
+    for profile in opts.profiles() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
+        let mut probe = ListOccupancyProbe::new(sample_every);
+        {
+            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
+            run_trace_probed(&cfg, opts.requests_for(&profile), &mut probes);
+        }
+        let mut sums = [0f64; 3];
+        let mut n = 0f64;
+        for &(idx, occ) in &probe.samples {
+            samples_table.push_row(vec![
+                profile.name.clone(),
+                idx.to_string(),
+                occ[0].to_string(),
+                occ[1].to_string(),
+                occ[2].to_string(),
+            ]);
+            let total: usize = occ.iter().sum();
+            if total > 0 {
+                for i in 0..3 {
+                    sums[i] += occ[i] as f64 / total as f64;
+                }
+                n += 1.0;
+            }
+        }
+        let n = n.max(1.0);
+        shares.push_row(vec![
+            profile.name.clone(),
+            pct(sums[0] / n),
+            pct(sums[1] / n),
+            pct(sums[2] / n),
+        ]);
+    }
+    (samples_table, shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> Opts {
+        Opts { scale: 0.001, threads: 2, out_dir: std::env::temp_dir(), trace_dir: None }
+    }
+
+    #[test]
+    fn table1_lists_all_parameters() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 12);
+        assert!(t.to_markdown().contains("128 GB"));
+        assert!(t.to_markdown().contains("Page level"));
+    }
+
+    #[test]
+    fn table2_compares_paper_and_measured() {
+        let t = table2(&tiny_opts());
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0][0], "hm_1");
+        assert_eq!(t.rows[5][0], "proj_0");
+    }
+
+    #[test]
+    fn fig2_fig3_produce_rows_per_trace() {
+        let (f2t, f3t) = fig2_fig3(&tiny_opts());
+        assert_eq!(f2t.rows.len(), 12); // 6 traces x 2 series
+        assert_eq!(f3t.rows.len(), 6);
+        // CDFs must be monotone across size columns.
+        for row in &f2t.rows {
+            let vals: Vec<f64> = row[2..].iter().map(|c| c.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9, "CDF not monotone: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_grid_is_complete() {
+        let mut opts = tiny_opts();
+        opts.scale = 0.0005;
+        let cmp = comparison(&opts);
+        for trace in cmp.traces() {
+            for cache in CacheSizeMb::ALL {
+                for p in COMPARISON_POLICIES {
+                    let r = cmp.get(trace, cache, p);
+                    assert!(r.metrics.requests > 0);
+                }
+            }
+        }
+        let t8 = fig8(&cmp);
+        assert_eq!(t8.rows.len(), 18); // 6 traces x 3 sizes
+        let t9 = fig9(&cmp);
+        assert_eq!(t9.rows.len(), 18);
+        let t10 = fig10(&cmp);
+        assert_eq!(t10.rows.len(), 6);
+        let t11 = fig11(&cmp);
+        assert_eq!(t11.rows.len(), 6);
+        let t12 = fig12(&cmp);
+        assert_eq!(t12.rows.len(), 3);
+        let s = summary(&cmp);
+        assert_eq!(s.rows.len(), 3);
+    }
+
+    #[test]
+    fn fig13_reports_samples_and_shares() {
+        let (samples, shares) = fig13(&tiny_opts());
+        assert!(!samples.rows.is_empty());
+        assert_eq!(shares.rows.len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod trace_dir_tests {
+    use super::*;
+    use reqblock_sim::TraceSource;
+
+    #[test]
+    fn source_for_prefers_existing_trace_files() {
+        let dir = std::env::temp_dir().join("reqblock_trace_dir_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Export a tiny ts_0 as the "real" trace file.
+        let profile = reqblock_trace::profiles::ts_0().scaled(0.001);
+        let reqs = reqblock_trace::SyntheticTrace::new(profile).generate_all();
+        reqblock_trace::msr::write_file(&dir.join("ts_0.csv"), &reqs).unwrap();
+
+        let opts = Opts { trace_dir: Some(dir.clone()), ..Opts::default() };
+        let profiles = opts.profiles();
+        let ts0 = profiles.iter().find(|p| p.name == "ts_0").unwrap();
+        let hm1 = profiles.iter().find(|p| p.name == "hm_1").unwrap();
+        // ts_0.csv exists -> file source; hm_1.csv does not -> synthetic.
+        match opts.source_for(ts0) {
+            TraceSource::MsrFile(path) => assert!(path.ends_with("ts_0.csv")),
+            other => panic!("expected file source, got {other:?}"),
+        }
+        assert!(matches!(opts.source_for(hm1), TraceSource::Synthetic(_)));
+        // The file source loads the exported requests.
+        assert_eq!(opts.requests_for(ts0).len(), reqs.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `figures::*` function runs the simulations behind one artifact of
+//! the paper's evaluation section and renders a [`report::Table`]:
+//!
+//! | function | paper artifact |
+//! |----------|----------------|
+//! | `figures::table1` | Table 1 — SSDsim settings |
+//! | `figures::table2` | Table 2 — trace specifications (paper vs measured) |
+//! | `figures::fig2` | Figure 2 — insert/hit CDFs vs request size |
+//! | `figures::fig3` | Figure 3 — large-request hit statistics |
+//! | `figures::fig7` | Figure 7 — delta sensitivity |
+//! | `figures::comparison` + `fig8`..`fig12` | Figures 8-12 — policy comparison grid |
+//! | `figures::fig13` | Figure 13 — Req-block list occupancy over time |
+//!
+//! The `repro` binary exposes them as subcommands; results are printed and
+//! written into `results/`.
+
+pub mod extensions;
+pub mod figures;
+pub mod report;
+
+pub use figures::Opts;
+pub use report::Table;

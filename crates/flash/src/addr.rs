@@ -1,0 +1,145 @@
+//! Physical addressing: channels, chips, blocks, pages.
+//!
+//! A physical page number ([`Ppn`]) is a dense `u64` encoding
+//! `chip * pages_per_chip + block * pages_per_block + page`, which keeps FTL
+//! map entries small. [`Addr`] is the unpacked form used when scheduling
+//! operations.
+
+use crate::config::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Dense physical page number (see module docs for the encoding).
+pub type Ppn = u64;
+
+/// Global chip index in `0..cfg.total_chips()`; chips of channel `c` are
+/// `c * chips_per_channel ..` consecutively.
+pub type ChipId = usize;
+
+/// Unpacked physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Channel index.
+    pub channel: usize,
+    /// Chip index within the channel.
+    pub chip: usize,
+    /// Block index within the chip.
+    pub block: usize,
+    /// Page index within the block.
+    pub page: usize,
+}
+
+impl Addr {
+    /// Global chip id of this address.
+    #[inline]
+    pub fn chip_id(&self, cfg: &SsdConfig) -> ChipId {
+        self.channel * cfg.chips_per_channel + self.chip
+    }
+
+    /// Pack into a dense [`Ppn`].
+    #[inline]
+    pub fn to_ppn(&self, cfg: &SsdConfig) -> Ppn {
+        let chip = self.chip_id(cfg) as u64;
+        chip * cfg.pages_per_chip()
+            + self.block as u64 * cfg.pages_per_block as u64
+            + self.page as u64
+    }
+
+    /// Unpack a dense [`Ppn`].
+    #[inline]
+    pub fn from_ppn(ppn: Ppn, cfg: &SsdConfig) -> Self {
+        let pages_per_chip = cfg.pages_per_chip();
+        let chip_id = (ppn / pages_per_chip) as usize;
+        let within = ppn % pages_per_chip;
+        let block = (within / cfg.pages_per_block as u64) as usize;
+        let page = (within % cfg.pages_per_block as u64) as usize;
+        Self {
+            channel: chip_id / cfg.chips_per_channel,
+            chip: chip_id % cfg.chips_per_channel,
+            block,
+            page,
+        }
+    }
+}
+
+/// Channel that owns a global chip id.
+#[inline]
+pub fn channel_of(chip: ChipId, cfg: &SsdConfig) -> usize {
+    chip / cfg.chips_per_channel
+}
+
+/// Global block id (`chip * blocks_per_chip + block`), used by the FTL.
+#[inline]
+pub fn block_id(chip: ChipId, block: usize, cfg: &SsdConfig) -> usize {
+    chip * cfg.blocks_per_chip() + block
+}
+
+/// Split a global block id back into `(chip, block)`.
+#[inline]
+pub fn split_block_id(gid: usize, cfg: &SsdConfig) -> (ChipId, usize) {
+    (gid / cfg.blocks_per_chip(), gid % cfg.blocks_per_chip())
+}
+
+/// First [`Ppn`] of a global block id.
+#[inline]
+pub fn block_first_ppn(gid: usize, cfg: &SsdConfig) -> Ppn {
+    let (chip, block) = split_block_id(gid, cfg);
+    chip as u64 * cfg.pages_per_chip() + block as u64 * cfg.pages_per_block as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppn_roundtrip_paper_geometry() {
+        let cfg = SsdConfig::paper();
+        let a = Addr { channel: 7, chip: 1, block: 32_767, page: 63 };
+        let ppn = a.to_ppn(&cfg);
+        assert_eq!(Addr::from_ppn(ppn, &cfg), a);
+        // Last page of the drive.
+        assert_eq!(ppn, cfg.total_pages() - 1);
+    }
+
+    #[test]
+    fn ppn_roundtrip_exhaustive_tiny() {
+        let cfg = SsdConfig::tiny();
+        for ppn in 0..cfg.total_pages() {
+            let a = Addr::from_ppn(ppn, &cfg);
+            assert_eq!(a.to_ppn(&cfg), ppn);
+            assert!(a.channel < cfg.channels);
+            assert!(a.chip < cfg.chips_per_channel);
+            assert!(a.block < cfg.blocks_per_chip());
+            assert!(a.page < cfg.pages_per_block);
+        }
+    }
+
+    #[test]
+    fn chip_ids_are_dense_and_channel_major() {
+        let cfg = SsdConfig::paper();
+        let a = Addr { channel: 3, chip: 1, block: 0, page: 0 };
+        assert_eq!(a.chip_id(&cfg), 7);
+        assert_eq!(channel_of(7, &cfg), 3);
+    }
+
+    #[test]
+    fn block_id_roundtrip() {
+        let cfg = SsdConfig::tiny();
+        for chip in 0..cfg.total_chips() {
+            for block in 0..cfg.blocks_per_chip() {
+                let gid = block_id(chip, block, &cfg);
+                assert_eq!(split_block_id(gid, &cfg), (chip, block));
+            }
+        }
+    }
+
+    #[test]
+    fn block_first_ppn_is_page_zero() {
+        let cfg = SsdConfig::tiny();
+        let gid = block_id(1, 3, &cfg);
+        let ppn = block_first_ppn(gid, &cfg);
+        let a = Addr::from_ppn(ppn, &cfg);
+        assert_eq!(a.page, 0);
+        assert_eq!(a.block, 3);
+        assert_eq!(a.chip_id(&cfg), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! SSD configuration: the paper's Table 1 plus derived geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Full parameter set of the simulated SSD.
+///
+/// [`SsdConfig::paper`] returns Table 1 verbatim; [`SsdConfig::tiny`] is a
+/// miniature drive for unit tests where GC must trigger quickly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Number of channels (Table 1: 8).
+    pub channels: usize,
+    /// Chips per channel (Table 1: 2).
+    pub chips_per_channel: usize,
+    /// Pages per flash block (Table 1: 64).
+    pub pages_per_block: usize,
+    /// Page size in bytes (Table 1: 4 KB).
+    pub page_size: u64,
+    /// Total raw capacity in bytes (Table 1: 128 GB).
+    pub capacity_bytes: u64,
+    /// Flash array read (sense) latency in ns (Table 1: 0.075 ms).
+    pub read_latency_ns: u64,
+    /// Flash program latency in ns (Table 1: 2 ms).
+    pub program_latency_ns: u64,
+    /// Block erase latency in ns (Table 1: 15 ms).
+    pub erase_latency_ns: u64,
+    /// Channel bus transfer time per byte in ns (Table 1: 10 ns/B).
+    pub transfer_ns_per_byte: u64,
+    /// GC triggers on a chip when its free-block fraction drops below this
+    /// (Table 1: 10 %).
+    pub gc_threshold: f64,
+    /// DRAM access time per page for cache hits/inserts, in ns. Not in
+    /// Table 1; SSDsim charges a small constant for buffer traffic. 2 us is
+    /// the bus transfer time of half a page and is negligible next to the
+    /// 2 ms program latency, matching the paper's premise that buffered
+    /// writes are "significantly shortened".
+    pub dram_access_ns: u64,
+}
+
+impl SsdConfig {
+    /// The exact configuration of the paper's Table 1.
+    pub fn paper() -> Self {
+        Self {
+            channels: 8,
+            chips_per_channel: 2,
+            pages_per_block: 64,
+            page_size: 4096,
+            capacity_bytes: 128 * (1 << 30),
+            read_latency_ns: 75_000,
+            program_latency_ns: 2_000_000,
+            erase_latency_ns: 15_000_000,
+            transfer_ns_per_byte: 10,
+            gc_threshold: 0.10,
+            dram_access_ns: 2_000,
+        }
+    }
+
+    /// A miniature SSD (2 channels x 1 chip, 32 blocks/chip, 8 pages/block)
+    /// whose GC triggers after a few hundred page writes — for unit tests.
+    pub fn tiny() -> Self {
+        let channels = 2;
+        let chips_per_channel = 1;
+        let pages_per_block = 8;
+        let page_size = 4096;
+        let blocks_per_chip = 32u64;
+        Self {
+            channels,
+            chips_per_channel,
+            pages_per_block,
+            page_size,
+            capacity_bytes: blocks_per_chip
+                * (channels * chips_per_channel) as u64
+                * pages_per_block as u64
+                * page_size,
+            read_latency_ns: 75_000,
+            program_latency_ns: 2_000_000,
+            erase_latency_ns: 15_000_000,
+            transfer_ns_per_byte: 10,
+            gc_threshold: 0.10,
+            dram_access_ns: 2_000,
+        }
+    }
+
+    /// Check internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.chips_per_channel == 0 {
+            return Err("need at least one channel and one chip".into());
+        }
+        if self.pages_per_block == 0 || self.pages_per_block > 64 {
+            // The FTL packs per-block valid bitmaps into a u64.
+            return Err("pages_per_block must be in 1..=64".into());
+        }
+        if self.page_size == 0 {
+            return Err("page_size must be > 0".into());
+        }
+        let chip_bytes =
+            self.total_chips() as u64 * self.pages_per_block as u64 * self.page_size;
+        if self.capacity_bytes < chip_bytes {
+            return Err("capacity smaller than one block per chip".into());
+        }
+        if !self.capacity_bytes.is_multiple_of(chip_bytes) {
+            return Err("capacity must be a whole number of blocks per chip".into());
+        }
+        if !(0.0..1.0).contains(&self.gc_threshold) {
+            return Err("gc_threshold must be in [0,1)".into());
+        }
+        Ok(())
+    }
+
+    /// Total number of chips (`channels * chips_per_channel`).
+    #[inline]
+    pub fn total_chips(&self) -> usize {
+        self.channels * self.chips_per_channel
+    }
+
+    /// Blocks on each chip.
+    #[inline]
+    pub fn blocks_per_chip(&self) -> usize {
+        (self.capacity_bytes
+            / (self.total_chips() as u64 * self.pages_per_block as u64 * self.page_size))
+            as usize
+    }
+
+    /// Pages on each chip.
+    #[inline]
+    pub fn pages_per_chip(&self) -> u64 {
+        self.blocks_per_chip() as u64 * self.pages_per_block as u64
+    }
+
+    /// Total blocks on the drive.
+    #[inline]
+    pub fn total_blocks(&self) -> usize {
+        self.blocks_per_chip() * self.total_chips()
+    }
+
+    /// Total physical pages on the drive.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_chip() * self.total_chips() as u64
+    }
+
+    /// Time to move one page over a channel bus, in ns.
+    #[inline]
+    pub fn page_transfer_ns(&self) -> u64 {
+        self.page_size * self.transfer_ns_per_byte
+    }
+
+    /// Free-block count below which a chip runs GC.
+    #[inline]
+    pub fn gc_free_blocks_floor(&self) -> usize {
+        ((self.blocks_per_chip() as f64) * self.gc_threshold).ceil() as usize
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        SsdConfig::paper().validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_config_validates() {
+        SsdConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_geometry_matches_table1() {
+        let c = SsdConfig::paper();
+        assert_eq!(c.total_chips(), 16);
+        // 128 GB / (16 chips * 64 pages * 4 KB) = 32768 blocks per chip.
+        assert_eq!(c.blocks_per_chip(), 32_768);
+        assert_eq!(c.total_blocks(), 524_288);
+        assert_eq!(c.total_pages(), 33_554_432);
+        // 4 KB at 10 ns/B = 40.96 us per page transfer.
+        assert_eq!(c.page_transfer_ns(), 40_960);
+        // 10 % of 32768 blocks.
+        assert_eq!(c.gc_free_blocks_floor(), 3_277);
+    }
+
+    #[test]
+    fn paper_latencies_match_table1() {
+        let c = SsdConfig::paper();
+        assert_eq!(c.read_latency_ns, 75_000); // 0.075 ms
+        assert_eq!(c.program_latency_ns, 2_000_000); // 2 ms
+        assert_eq!(c.erase_latency_ns, 15_000_000); // 15 ms
+        assert_eq!(c.transfer_ns_per_byte, 10);
+        assert!((c.gc_threshold - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_zero_channels() {
+        let mut c = SsdConfig::paper();
+        c.channels = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_oversized_blocks() {
+        let mut c = SsdConfig::paper();
+        c.pages_per_block = 128; // valid-bitmap packing limit
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_ragged_capacity() {
+        let mut c = SsdConfig::tiny();
+        c.capacity_bytes += 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_gc_threshold() {
+        let mut c = SsdConfig::paper();
+        c.gc_threshold = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SsdConfig::default(), SsdConfig::paper());
+    }
+}

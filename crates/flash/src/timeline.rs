@@ -1,0 +1,298 @@
+//! Resource timelines: when is each channel bus and each chip free?
+//!
+//! The simulator is trace-driven rather than event-driven: operations are
+//! issued in request order, and each operation reserves its resources by
+//! advancing per-resource "busy until" horizons. This is the standard
+//! technique SSDsim-style simulators use for open-loop trace replay and it
+//! captures the effects the paper's evaluation depends on:
+//!
+//! * two programs to chips on *different* channels overlap fully;
+//! * two programs to the *same* chip serialize on the array;
+//! * two operations on different chips of the same channel serialize only
+//!   for their bus-transfer phases (the array phases overlap);
+//! * a GC erase makes the chip unavailable for 15 ms, which later operations
+//!   on that chip observe as queueing delay.
+//!
+//! Operation anatomy:
+//!
+//! * **read**: array sense (`read_latency`) on the chip, then bus transfer
+//!   out (`page_transfer`), holding the chip until the transfer completes
+//!   (data sits in the chip's page register until moved out);
+//! * **program**: bus transfer in, then array program; the bus is released
+//!   once the transfer is done, the chip when the program finishes;
+//! * **erase**: chip only, no bus traffic.
+
+use crate::addr::{channel_of, ChipId};
+use crate::config::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Start and end of a scheduled flash operation, in simulated ns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the operation began occupying its first resource.
+    pub start_ns: u64,
+    /// When its last resource was released (the operation's finish time).
+    pub end_ns: u64,
+}
+
+/// Running totals of flash operations, split by originator so the harness
+/// can report user-visible flushes (Figure 11) separately from GC traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Host/user page reads.
+    pub user_reads: u64,
+    /// Pages programmed on behalf of cache flushes (Figure 11's write count).
+    pub user_programs: u64,
+    /// Pages read back during GC valid-page migration.
+    pub gc_reads: u64,
+    /// Pages programmed during GC valid-page migration.
+    pub gc_programs: u64,
+    /// Block erases.
+    pub erases: u64,
+}
+
+impl OpCounters {
+    /// All page programs (user + GC), the write-amplification numerator.
+    pub fn total_programs(&self) -> u64 {
+        self.user_programs + self.gc_programs
+    }
+
+    /// Write amplification factor; 1.0 when no GC traffic has occurred.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_programs == 0 {
+            return 1.0;
+        }
+        self.total_programs() as f64 / self.user_programs as f64
+    }
+}
+
+/// Who issued an operation (for counter attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Host request or cache flush.
+    User,
+    /// Garbage-collection traffic.
+    Gc,
+}
+
+/// Per-channel and per-chip busy horizons plus operation counters.
+#[derive(Debug, Clone)]
+pub struct FlashTimeline {
+    channel_free_ns: Vec<u64>,
+    chip_free_ns: Vec<u64>,
+    chips_per_channel: usize,
+    counters: OpCounters,
+}
+
+impl FlashTimeline {
+    /// Fresh timeline: every resource free at t = 0.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        Self {
+            channel_free_ns: vec![0; cfg.channels],
+            chip_free_ns: vec![0; cfg.total_chips()],
+            chips_per_channel: cfg.chips_per_channel,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// Operation counters so far.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Earliest time `chip` can start an array operation.
+    pub fn chip_free_at(&self, chip: ChipId) -> u64 {
+        self.chip_free_ns[chip]
+    }
+
+    /// Earliest time the channel owning `chip` can start a transfer.
+    pub fn channel_free_at(&self, chip: ChipId) -> u64 {
+        self.channel_free_ns[chip / self.chips_per_channel]
+    }
+
+    /// Schedule a page read on `chip` no earlier than `at`.
+    pub fn read(&mut self, cfg: &SsdConfig, chip: ChipId, at: u64, origin: Origin) -> Completion {
+        let ch = channel_of(chip, cfg);
+        let sense_start = at.max(self.chip_free_ns[chip]);
+        let sense_done = sense_start + cfg.read_latency_ns;
+        let xfer_start = sense_done.max(self.channel_free_ns[ch]);
+        let end = xfer_start + cfg.page_transfer_ns();
+        // Chip holds the page register until the data is moved out.
+        self.chip_free_ns[chip] = end;
+        self.channel_free_ns[ch] = end;
+        match origin {
+            Origin::User => self.counters.user_reads += 1,
+            Origin::Gc => self.counters.gc_reads += 1,
+        }
+        Completion { start_ns: sense_start, end_ns: end }
+    }
+
+    /// Schedule a page program on `chip` no earlier than `at`.
+    pub fn program(
+        &mut self,
+        cfg: &SsdConfig,
+        chip: ChipId,
+        at: u64,
+        origin: Origin,
+    ) -> Completion {
+        let ch = channel_of(chip, cfg);
+        // Data must be moved over the bus into the chip's register, so both
+        // the bus and the chip must be free before the transfer starts.
+        let xfer_start = at.max(self.channel_free_ns[ch]).max(self.chip_free_ns[chip]);
+        let xfer_done = xfer_start + cfg.page_transfer_ns();
+        let end = xfer_done + cfg.program_latency_ns;
+        self.channel_free_ns[ch] = xfer_done; // bus released after transfer
+        self.chip_free_ns[chip] = end;
+        match origin {
+            Origin::User => self.counters.user_programs += 1,
+            Origin::Gc => self.counters.gc_programs += 1,
+        }
+        Completion { start_ns: xfer_start, end_ns: end }
+    }
+
+    /// Schedule a block erase on `chip` no earlier than `at`.
+    pub fn erase(&mut self, cfg: &SsdConfig, chip: ChipId, at: u64) -> Completion {
+        let start = at.max(self.chip_free_ns[chip]);
+        let end = start + cfg.erase_latency_ns;
+        self.chip_free_ns[chip] = end;
+        self.counters.erases += 1;
+        Completion { start_ns: start, end_ns: end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SsdConfig {
+        SsdConfig::paper()
+    }
+
+    #[test]
+    fn single_program_timing() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let c = tl.program(&cfg, 0, 1_000, Origin::User);
+        assert_eq!(c.start_ns, 1_000);
+        assert_eq!(c.end_ns, 1_000 + cfg.page_transfer_ns() + cfg.program_latency_ns);
+        assert_eq!(tl.counters().user_programs, 1);
+    }
+
+    #[test]
+    fn single_read_timing() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let c = tl.read(&cfg, 5, 0, Origin::User);
+        assert_eq!(c.end_ns, cfg.read_latency_ns + cfg.page_transfer_ns());
+        assert_eq!(tl.counters().user_reads, 1);
+    }
+
+    #[test]
+    fn programs_on_different_channels_overlap() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        // Chips 0 and 2 are on channels 0 and 1.
+        let a = tl.program(&cfg, 0, 0, Origin::User);
+        let b = tl.program(&cfg, 2, 0, Origin::User);
+        assert_eq!(a.end_ns, b.end_ns, "independent channels must run in parallel");
+    }
+
+    #[test]
+    fn programs_on_same_chip_serialize_fully() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let a = tl.program(&cfg, 0, 0, Origin::User);
+        let b = tl.program(&cfg, 0, 0, Origin::User);
+        assert_eq!(b.start_ns, a.end_ns, "same chip: second waits for program");
+    }
+
+    #[test]
+    fn programs_on_same_channel_different_chip_pipeline() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        // Chips 0 and 1 share channel 0: the second transfer waits only for
+        // the first transfer (bus), then both programs proceed in parallel.
+        let a = tl.program(&cfg, 0, 0, Origin::User);
+        let b = tl.program(&cfg, 1, 0, Origin::User);
+        assert_eq!(b.start_ns, cfg.page_transfer_ns());
+        assert_eq!(b.end_ns, a.end_ns + cfg.page_transfer_ns());
+    }
+
+    #[test]
+    fn read_holds_chip_through_transfer() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let a = tl.read(&cfg, 0, 0, Origin::User);
+        // Next array op on the same chip cannot start before the data left
+        // the page register.
+        let b = tl.read(&cfg, 0, 0, Origin::User);
+        assert_eq!(b.start_ns, a.end_ns);
+    }
+
+    #[test]
+    fn erase_uses_no_bus() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let e = tl.erase(&cfg, 0, 0);
+        assert_eq!(e.end_ns, cfg.erase_latency_ns);
+        // Bus of channel 0 still free: a program on chip 1 starts at t=0.
+        let p = tl.program(&cfg, 1, 0, Origin::User);
+        assert_eq!(p.start_ns, 0);
+        assert_eq!(tl.counters().erases, 1);
+    }
+
+    #[test]
+    fn erase_delays_later_ops_on_chip() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        tl.erase(&cfg, 3, 0);
+        let r = tl.read(&cfg, 3, 0, Origin::Gc);
+        assert_eq!(r.start_ns, cfg.erase_latency_ns);
+        assert_eq!(tl.counters().gc_reads, 1);
+    }
+
+    #[test]
+    fn idle_gap_respected() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        tl.program(&cfg, 0, 0, Origin::User);
+        // An op requested far in the future starts exactly then.
+        let late = 1_000_000_000;
+        let c = tl.program(&cfg, 0, late, Origin::User);
+        assert_eq!(c.start_ns, late);
+    }
+
+    #[test]
+    fn counters_attribute_origin() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        tl.program(&cfg, 0, 0, Origin::User);
+        tl.program(&cfg, 0, 0, Origin::Gc);
+        tl.read(&cfg, 0, 0, Origin::Gc);
+        let c = tl.counters();
+        assert_eq!(c.user_programs, 1);
+        assert_eq!(c.gc_programs, 1);
+        assert_eq!(c.gc_reads, 1);
+        assert_eq!(c.total_programs(), 2);
+        assert!((c.write_amplification() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_amplification_defaults_to_one() {
+        assert_eq!(OpCounters::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn sixteen_chip_fanout_bounded_by_channels() {
+        // Flushing 8 pages striped over 8 channels costs one program latency
+        // plus one transfer, not eight.
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let mut last_end = 0;
+        for ch in 0..8 {
+            let chip = ch * cfg.chips_per_channel;
+            last_end = last_end.max(tl.program(&cfg, chip, 0, Origin::User).end_ns);
+        }
+        assert_eq!(last_end, cfg.page_transfer_ns() + cfg.program_latency_ns);
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-chip physical block state.
+//!
+//! Each chip owns `blocks_per_chip` blocks. A block is either **free**
+//! (erased, on the free list), **active** (the chip's current append point),
+//! or **full** (append pointer exhausted; candidate for GC once pages turn
+//! invalid). Valid pages are tracked in a per-block `u64` bitmap, which is
+//! why the simulator caps `pages_per_block` at 64 (the paper's value).
+
+use reqblock_flash::SsdConfig;
+
+/// Lifecycle state of a block (derived, stored for cheap assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Erased and on the free list.
+    Free,
+    /// Current append point of its chip.
+    Active,
+    /// All pages programmed at least once since the last erase.
+    Full,
+}
+
+/// Metadata of one physical block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Bitmap of valid pages (bit `i` = page `i` holds live data).
+    pub valid: u64,
+    /// Next page index to program (append pointer).
+    pub next_page: u16,
+    /// Number of erases this block has seen (wear).
+    pub erase_count: u32,
+    /// Lifecycle state.
+    pub state: BlockState,
+}
+
+impl BlockMeta {
+    fn fresh() -> Self {
+        Self { valid: 0, next_page: 0, erase_count: 0, state: BlockState::Free }
+    }
+
+    /// Number of valid pages.
+    #[inline]
+    pub fn valid_count(&self) -> u32 {
+        self.valid.count_ones()
+    }
+
+    /// Number of invalid pages (programmed but superseded).
+    #[inline]
+    pub fn invalid_count(&self) -> u32 {
+        self.next_page as u32 - self.valid_count()
+    }
+}
+
+/// Block manager for a single chip.
+#[derive(Debug, Clone)]
+pub struct ChipBlocks {
+    blocks: Vec<BlockMeta>,
+    free: Vec<u32>,
+    /// Current append block, if one is open.
+    active: Option<u32>,
+    pages_per_block: u16,
+}
+
+impl ChipBlocks {
+    /// All blocks free, no active block.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        let n = cfg.blocks_per_chip();
+        Self {
+            blocks: vec![BlockMeta::fresh(); n],
+            // Pop from the back; seed in reverse so block 0 is used first.
+            free: (0..n as u32).rev().collect(),
+            active: None,
+            pages_per_block: cfg.pages_per_block as u16,
+        }
+    }
+
+    /// Number of blocks currently free.
+    #[inline]
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The active block index, if any.
+    #[inline]
+    pub fn active_block(&self) -> Option<u32> {
+        self.active
+    }
+
+    /// Immutable access to a block's metadata.
+    #[inline]
+    pub fn meta(&self, block: u32) -> &BlockMeta {
+        &self.blocks[block as usize]
+    }
+
+    /// Total number of blocks on the chip.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Allocate the next free page on the chip, opening a new active block
+    /// from the free list when needed.
+    ///
+    /// Returns `(block, page)` or `None` if no free block is available and
+    /// the active block is exhausted (the caller must GC first).
+    pub fn allocate_page(&mut self) -> Option<(u32, u16)> {
+        loop {
+            match self.active {
+                Some(b) => {
+                    let meta = &mut self.blocks[b as usize];
+                    if meta.next_page < self.pages_per_block {
+                        let page = meta.next_page;
+                        meta.next_page += 1;
+                        meta.valid |= 1u64 << page;
+                        if meta.next_page == self.pages_per_block {
+                            meta.state = BlockState::Full;
+                            self.active = None;
+                        }
+                        return Some((b, page));
+                    }
+                    // Defensive: an active block should have been closed when
+                    // its last page was taken.
+                    meta.state = BlockState::Full;
+                    self.active = None;
+                }
+                None => {
+                    let b = self.free.pop()?;
+                    debug_assert_eq!(self.blocks[b as usize].state, BlockState::Free);
+                    self.blocks[b as usize].state = BlockState::Active;
+                    self.active = Some(b);
+                }
+            }
+        }
+    }
+
+    /// Mark `(block, page)` invalid (its LPN was overwritten or migrated).
+    /// Returns the block's new invalid count.
+    pub fn invalidate(&mut self, block: u32, page: u16) -> u32 {
+        let meta = &mut self.blocks[block as usize];
+        debug_assert!(page < meta.next_page, "invalidating unwritten page");
+        debug_assert!(meta.valid & (1u64 << page) != 0, "double invalidate");
+        meta.valid &= !(1u64 << page);
+        meta.invalid_count()
+    }
+
+    /// Erase `block`: clears its bitmap and append pointer, bumps wear, and
+    /// returns it to the free list. The block must not be active.
+    pub fn erase(&mut self, block: u32) {
+        let meta = &mut self.blocks[block as usize];
+        debug_assert_ne!(meta.state, BlockState::Free, "erasing a free block");
+        debug_assert_ne!(Some(block), self.active, "erasing the active block");
+        meta.valid = 0;
+        meta.next_page = 0;
+        meta.erase_count += 1;
+        meta.state = BlockState::Free;
+        self.free.push(block);
+    }
+
+    /// Live (valid) pages across the whole chip. O(blocks); used by tests
+    /// and occasional consistency checks only.
+    pub fn live_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.valid_count() as u64).sum()
+    }
+
+    /// Maximum erase count across blocks (wear ceiling).
+    pub fn max_erase_count(&self) -> u32 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SsdConfig {
+        SsdConfig::tiny() // 8 pages/block, 32 blocks/chip
+    }
+
+    #[test]
+    fn allocation_fills_block_then_moves_on() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let mut seen = Vec::new();
+        for _ in 0..cfg.pages_per_block + 1 {
+            seen.push(cb.allocate_page().unwrap());
+        }
+        let first_block = seen[0].0;
+        // First 8 allocations come from one block with ascending pages.
+        for (i, &(b, p)) in seen.iter().take(8).enumerate() {
+            assert_eq!(b, first_block);
+            assert_eq!(p as usize, i);
+        }
+        // Ninth allocation opens a new block at page 0.
+        assert_ne!(seen[8].0, first_block);
+        assert_eq!(seen[8].1, 0);
+        assert_eq!(cb.meta(first_block).state, BlockState::Full);
+    }
+
+    #[test]
+    fn free_count_decreases_as_blocks_open() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        assert_eq!(cb.free_count(), 32);
+        cb.allocate_page().unwrap();
+        assert_eq!(cb.free_count(), 31);
+        // Filling the active block doesn't consume another until needed.
+        for _ in 1..8 {
+            cb.allocate_page().unwrap();
+        }
+        assert_eq!(cb.free_count(), 31);
+        cb.allocate_page().unwrap();
+        assert_eq!(cb.free_count(), 30);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let total_pages = cfg.blocks_per_chip() * cfg.pages_per_block;
+        for _ in 0..total_pages {
+            assert!(cb.allocate_page().is_some());
+        }
+        assert!(cb.allocate_page().is_none());
+    }
+
+    #[test]
+    fn invalidate_and_counts() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let (b, p) = cb.allocate_page().unwrap();
+        assert_eq!(cb.meta(b).valid_count(), 1);
+        assert_eq!(cb.meta(b).invalid_count(), 0);
+        let inv = cb.invalidate(b, p);
+        assert_eq!(inv, 1);
+        assert_eq!(cb.meta(b).valid_count(), 0);
+    }
+
+    #[test]
+    fn erase_recycles_block() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        // Fill one block completely and invalidate all its pages.
+        let mut block = None;
+        for _ in 0..8 {
+            let (b, p) = cb.allocate_page().unwrap();
+            block = Some(b);
+            cb.invalidate(b, p);
+        }
+        let b = block.unwrap();
+        let free_before = cb.free_count();
+        cb.erase(b);
+        assert_eq!(cb.free_count(), free_before + 1);
+        assert_eq!(cb.meta(b).erase_count, 1);
+        assert_eq!(cb.meta(b).state, BlockState::Free);
+        assert_eq!(cb.meta(b).next_page, 0);
+    }
+
+    #[test]
+    fn live_pages_tracks_valid_bits() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let (b0, p0) = cb.allocate_page().unwrap();
+        cb.allocate_page().unwrap();
+        assert_eq!(cb.live_pages(), 2);
+        cb.invalidate(b0, p0);
+        assert_eq!(cb.live_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // the guard is a debug_assert
+    fn double_invalidate_panics_in_debug() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let (b, p) = cb.allocate_page().unwrap();
+        cb.invalidate(b, p);
+        cb.invalidate(b, p);
+    }
+}

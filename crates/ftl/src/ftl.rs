@@ -1,0 +1,466 @@
+//! The FTL proper: mapping, allocation, placement, GC orchestration.
+
+use crate::blocks::{BlockState, ChipBlocks};
+use crate::gc::GreedyPicker;
+use reqblock_flash::timeline::Origin;
+use reqblock_flash::{FlashTimeline, SsdConfig};
+use reqblock_trace::Lpn;
+use serde::{Deserialize, Serialize};
+
+/// Where a flush batch lands physically. See the crate docs: this is the
+/// mechanism behind the paper's §4.2.2 channel-parallelism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Pages are distributed round-robin over all chips (page-level dynamic
+    /// allocation): a batch of N <= channels pages completes in roughly one
+    /// program latency.
+    Striped,
+    /// The whole batch is appended on a single chip (BPLRU flushing a cached
+    /// logical block onto one physical SSD block): programs serialize on
+    /// that chip's array.
+    SingleBlock,
+}
+
+/// FTL-level statistics (GC activity; flash op counts live in
+/// [`FlashTimeline::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Number of GC victim collections performed.
+    pub gc_runs: u64,
+    /// Valid pages migrated by GC.
+    pub gc_migrated_pages: u64,
+    /// Blocks erased by GC.
+    pub gc_erased_blocks: u64,
+    /// Host reads of never-written LPNs (serviced with a timed flash read of
+    /// arbitrary data, like a real drive returning unmapped sectors).
+    pub unmapped_reads: u64,
+}
+
+/// Sentinel for "unmapped" in the dense translation tables.
+const UNMAPPED: u32 = u32::MAX;
+
+/// Per-chip domain: block state plus GC picker.
+#[derive(Debug, Clone)]
+struct ChipDomain {
+    blocks: ChipBlocks,
+    picker: GreedyPicker,
+}
+
+/// Page-level FTL over a multi-chip flash array.
+///
+/// Translation tables are dense `Vec<u32>` (LPN -> PPN and PPN -> LPN),
+/// sized by the drive's logical/physical page counts; `u32::MAX` means
+/// unmapped. The paper's 128 GB drive has 2^25 pages, so indices fit u32
+/// comfortably and lookups are branch-plus-load instead of hashing.
+pub struct Ftl {
+    cfg: SsdConfig,
+    /// LPN -> PPN; `UNMAPPED` when the LPN has never been written.
+    l2p: Vec<u32>,
+    /// PPN -> LPN for valid pages; `UNMAPPED` otherwise.
+    p2l: Vec<u32>,
+    chips: Vec<ChipDomain>,
+    /// Round-robin cursor for striped placement (and for spreading
+    /// single-block batches across chips between evictions).
+    cursor: usize,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Build an FTL for `cfg` with an empty mapping.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        cfg.validate().expect("invalid SSD config");
+        let total_pages = cfg.total_pages() as usize;
+        assert!(total_pages < UNMAPPED as usize, "drive too large for u32 page indices");
+        Self {
+            l2p: vec![UNMAPPED; total_pages],
+            p2l: vec![UNMAPPED; total_pages],
+            chips: (0..cfg.total_chips())
+                .map(|_| ChipDomain { blocks: ChipBlocks::new(cfg), picker: GreedyPicker::new() })
+                .collect(),
+            cursor: 0,
+            cfg: cfg.clone(),
+            stats: FtlStats::default(),
+        }
+    }
+
+    /// Drive configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// GC statistics so far.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Is `lpn` currently mapped to a physical page?
+    #[inline]
+    pub fn is_mapped(&self, lpn: Lpn) -> bool {
+        self.l2p[lpn as usize] != UNMAPPED
+    }
+
+    /// Number of logical pages the drive exposes.
+    #[inline]
+    pub fn logical_pages(&self) -> u64 {
+        self.cfg.total_pages()
+    }
+
+    /// Live (mapped) page count. O(chips * blocks); test/diagnostic use.
+    pub fn live_pages(&self) -> u64 {
+        self.chips.iter().map(|c| c.blocks.live_pages()).sum()
+    }
+
+    /// Free blocks on each chip (diagnostics).
+    pub fn free_blocks_per_chip(&self) -> Vec<usize> {
+        self.chips.iter().map(|c| c.blocks.free_count()).collect()
+    }
+
+    /// Maximum per-block erase count across the drive (wear ceiling).
+    pub fn max_erase_count(&self) -> u32 {
+        self.chips.iter().map(|c| c.blocks.max_erase_count()).max().unwrap_or(0)
+    }
+
+    #[inline]
+    fn ppn_of(&self, chip: usize, block: u32, page: u16) -> u32 {
+        (chip as u64 * self.cfg.pages_per_chip()
+            + block as u64 * self.cfg.pages_per_block as u64
+            + page as u64) as u32
+    }
+
+    #[inline]
+    fn chip_of_ppn(&self, ppn: u32) -> usize {
+        (ppn as u64 / self.cfg.pages_per_chip()) as usize
+    }
+
+    #[inline]
+    fn block_page_of_ppn(&self, ppn: u32) -> (u32, u16) {
+        let within = ppn as u64 % self.cfg.pages_per_chip();
+        (
+            (within / self.cfg.pages_per_block as u64) as u32,
+            (within % self.cfg.pages_per_block as u64) as u16,
+        )
+    }
+
+    /// Invalidate the physical page currently backing `lpn`, if any.
+    fn invalidate_lpn(&mut self, lpn: Lpn) {
+        let old = self.l2p[lpn as usize];
+        if old == UNMAPPED {
+            return;
+        }
+        let chip = self.chip_of_ppn(old);
+        let (block, page) = self.block_page_of_ppn(old);
+        let domain = &mut self.chips[chip];
+        let inv = domain.blocks.invalidate(block, page);
+        if domain.blocks.meta(block).state == BlockState::Full {
+            domain.picker.note(block, inv);
+        }
+        self.p2l[old as usize] = UNMAPPED;
+        self.l2p[lpn as usize] = UNMAPPED;
+    }
+
+    /// Allocate a physical page on `chip` and record the `lpn` mapping.
+    /// Panics if the chip is out of space even after GC had its chance —
+    /// that means the live data set exceeds physical capacity.
+    fn allocate_mapped(&mut self, chip: usize, lpn: Lpn) -> (u32, u16) {
+        let domain = &mut self.chips[chip];
+        let (block, page) = domain
+            .blocks
+            .allocate_page()
+            .expect("flash chip out of space: live data exceeds physical capacity");
+        // If the allocation sealed the block and earlier pages of it were
+        // already invalidated, make sure the picker knows about it.
+        let meta = domain.blocks.meta(block);
+        if meta.state == BlockState::Full && meta.invalid_count() > 0 {
+            domain.picker.note(block, meta.invalid_count());
+        }
+        let ppn = self.ppn_of(chip, block, page);
+        self.l2p[lpn as usize] = ppn;
+        self.p2l[ppn as usize] = lpn as u32;
+        (block, page)
+    }
+
+    /// Run GC on `chip` until its free-block count is back above the
+    /// threshold or no block can be reclaimed.
+    fn maybe_gc(&mut self, chip: usize, at: u64, tl: &mut FlashTimeline) {
+        let floor = self.cfg.gc_free_blocks_floor();
+        while self.chips[chip].blocks.free_count() < floor {
+            if !self.gc_once(chip, at, tl) {
+                break;
+            }
+        }
+    }
+
+    /// One greedy GC round on `chip`: migrate the victim's valid pages
+    /// within the chip, then erase it. Returns `false` if no victim exists.
+    fn gc_once(&mut self, chip: usize, at: u64, tl: &mut FlashTimeline) -> bool {
+        let victim = {
+            let domain = &mut self.chips[chip];
+            match domain.picker.pick(&domain.blocks) {
+                Some(b) => b,
+                None => return false,
+            }
+        };
+        // Collect the victim's valid pages before mutating anything.
+        let valid_bitmap = self.chips[chip].blocks.meta(victim).valid;
+        let pages_per_block = self.cfg.pages_per_block as u16;
+        for page in 0..pages_per_block {
+            if valid_bitmap & (1u64 << page) == 0 {
+                continue;
+            }
+            let src_ppn = self.ppn_of(chip, victim, page);
+            let lpn = self.p2l[src_ppn as usize];
+            debug_assert_ne!(lpn, UNMAPPED, "valid page without reverse mapping");
+            tl.read(&self.cfg, chip, at, Origin::Gc);
+            // Invalidate the source, then rewrite within the chip.
+            self.chips[chip].blocks.invalidate(victim, page);
+            self.p2l[src_ppn as usize] = UNMAPPED;
+            self.l2p[lpn as usize] = UNMAPPED;
+            self.allocate_mapped(chip, lpn as Lpn);
+            tl.program(&self.cfg, chip, at, Origin::Gc);
+            self.stats.gc_migrated_pages += 1;
+        }
+        tl.erase(&self.cfg, chip, at);
+        self.chips[chip].blocks.erase(victim);
+        self.stats.gc_runs += 1;
+        self.stats.gc_erased_blocks += 1;
+        true
+    }
+
+    /// Program one host/flush page on `chip` at `at`. Returns completion ns.
+    fn program_one(&mut self, chip: usize, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> u64 {
+        assert!(lpn < self.logical_pages(), "LPN {lpn} beyond device");
+        self.maybe_gc(chip, at, tl);
+        self.invalidate_lpn(lpn);
+        self.allocate_mapped(chip, lpn);
+        tl.program(&self.cfg, chip, at, Origin::User).end_ns
+    }
+
+    /// Flush a batch of pages at `at` with the given placement policy.
+    /// Returns the completion time of the slowest page (the batch finish).
+    pub fn write_pages(
+        &mut self,
+        lpns: &[Lpn],
+        at: u64,
+        placement: Placement,
+        tl: &mut FlashTimeline,
+    ) -> u64 {
+        if lpns.is_empty() {
+            return at;
+        }
+        let chips = self.chips.len();
+        let mut done = at;
+        match placement {
+            Placement::Striped => {
+                for &lpn in lpns {
+                    let chip = self.cursor;
+                    self.cursor = (self.cursor + 1) % chips;
+                    done = done.max(self.program_one(chip, lpn, at, tl));
+                }
+            }
+            Placement::SingleBlock => {
+                let chip = self.cursor;
+                self.cursor = (self.cursor + 1) % chips;
+                for &lpn in lpns {
+                    done = done.max(self.program_one(chip, lpn, at, tl));
+                }
+            }
+        }
+        done
+    }
+
+    /// Service a host read of `lpn` at `at`. Returns completion ns. Reads of
+    /// unmapped LPNs are timed like ordinary reads (chip chosen by address
+    /// hash) and counted in [`FtlStats::unmapped_reads`].
+    pub fn read_page(&mut self, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> u64 {
+        assert!(lpn < self.logical_pages(), "LPN {lpn} beyond device");
+        let ppn = self.l2p[lpn as usize];
+        let chip = if ppn == UNMAPPED {
+            self.stats.unmapped_reads += 1;
+            (lpn % self.chips.len() as u64) as usize
+        } else {
+            self.chip_of_ppn(ppn)
+        };
+        tl.read(&self.cfg, chip, at, Origin::User).end_ns
+    }
+
+    /// Debug-grade consistency check: every l2p entry has a matching p2l
+    /// entry and a valid bit set; live counts agree. O(total pages) — tests
+    /// only.
+    #[doc(hidden)]
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut mapped = 0u64;
+        for (lpn, &ppn) in self.l2p.iter().enumerate() {
+            if ppn == UNMAPPED {
+                continue;
+            }
+            mapped += 1;
+            if self.p2l[ppn as usize] != lpn as u32 {
+                return Err(format!("l2p/p2l mismatch at lpn {lpn}"));
+            }
+            let chip = self.chip_of_ppn(ppn);
+            let (block, page) = self.block_page_of_ppn(ppn);
+            let meta = self.chips[chip].blocks.meta(block);
+            if meta.valid & (1u64 << page) == 0 {
+                return Err(format!("mapped page not valid: lpn {lpn}"));
+            }
+        }
+        let live = self.live_pages();
+        if mapped != live {
+            return Err(format!("mapped {mapped} != live {live}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Ftl, FlashTimeline, SsdConfig) {
+        let cfg = SsdConfig::tiny();
+        (Ftl::new(&cfg), FlashTimeline::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn write_then_read_maps_page() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        assert!(!ftl.is_mapped(7));
+        ftl.write_pages(&[7], 0, Placement::Striped, &mut tl);
+        assert!(ftl.is_mapped(7));
+        let done = ftl.read_page(7, 0, &mut tl);
+        assert!(done > 0);
+        assert_eq!(tl.counters().user_reads, 1);
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        ftl.write_pages(&[3], 0, Placement::Striped, &mut tl);
+        assert_eq!(ftl.live_pages(), 1);
+        ftl.write_pages(&[3], 0, Placement::Striped, &mut tl);
+        // Still exactly one live page; the old copy is invalid.
+        assert_eq!(ftl.live_pages(), 1);
+        assert_eq!(tl.counters().user_programs, 2);
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn striped_batch_faster_than_single_block() {
+        let cfg = SsdConfig::paper();
+        let mut ftl_s = Ftl::new(&cfg);
+        let mut tl_s = FlashTimeline::new(&cfg);
+        let lpns: Vec<Lpn> = (0..8).collect();
+        let striped_done = ftl_s.write_pages(&lpns, 0, Placement::Striped, &mut tl_s);
+
+        let mut ftl_b = Ftl::new(&cfg);
+        let mut tl_b = FlashTimeline::new(&cfg);
+        let block_done = ftl_b.write_pages(&lpns, 0, Placement::SingleBlock, &mut tl_b);
+
+        // 8 pages over 8+ chips: ~1 program latency. Same chip: ~8x.
+        assert!(block_done > striped_done * 4, "{block_done} vs {striped_done}");
+    }
+
+    #[test]
+    fn single_block_batches_rotate_chips_between_evictions() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        ftl.write_pages(&[0, 1], 0, Placement::SingleBlock, &mut tl);
+        let c0 = ftl.chip_of_ppn(ftl.l2p[0]);
+        assert_eq!(c0, ftl.chip_of_ppn(ftl.l2p[1]), "batch stays on one chip");
+        ftl.write_pages(&[2], 0, Placement::SingleBlock, &mut tl);
+        let c1 = ftl.chip_of_ppn(ftl.l2p[2]);
+        assert_ne!(c0, c1, "next batch should move to the next chip");
+    }
+
+    #[test]
+    fn gc_triggers_and_reclaims_space() {
+        let (mut ftl, mut tl, cfg) = setup();
+        // tiny: 2 chips x 32 blocks x 8 pages = 512 physical pages.
+        // Hammer 64 LPNs with overwrites until GC must have run.
+        let mut writes = 0u64;
+        for round in 0..40 {
+            for lpn in 0..64u64 {
+                ftl.write_pages(&[lpn], round * 1_000_000, Placement::Striped, &mut tl);
+                writes += 1;
+            }
+        }
+        assert_eq!(tl.counters().user_programs, writes);
+        assert!(ftl.stats().gc_runs > 0, "GC never ran");
+        assert!(tl.counters().erases > 0);
+        // Free-block floor is respected (or nothing reclaimable remained).
+        let floor = cfg.gc_free_blocks_floor();
+        for free in ftl.free_blocks_per_chip() {
+            assert!(free >= floor.saturating_sub(1), "free {free} below floor {floor}");
+        }
+        assert_eq!(ftl.live_pages(), 64);
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn gc_preserves_data_mappings() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        // Write a stable set once, then churn a different set to force GC.
+        let stable: Vec<Lpn> = (100..150).collect();
+        ftl.write_pages(&stable, 0, Placement::Striped, &mut tl);
+        for round in 0..60 {
+            for lpn in 0..32u64 {
+                ftl.write_pages(&[lpn], round, Placement::Striped, &mut tl);
+            }
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        for &lpn in &stable {
+            assert!(ftl.is_mapped(lpn), "GC lost mapping for {lpn}");
+        }
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn gc_migration_counted_separately() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        ftl.write_pages(&(200..232).collect::<Vec<_>>(), 0, Placement::Striped, &mut tl);
+        let user_before = tl.counters().user_programs;
+        for round in 0..60 {
+            for lpn in 0..32u64 {
+                ftl.write_pages(&[lpn], round, Placement::Striped, &mut tl);
+            }
+        }
+        let c = tl.counters();
+        assert_eq!(c.user_programs, user_before + 60 * 32);
+        assert_eq!(c.gc_programs, ftl.stats().gc_migrated_pages);
+        assert!(c.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn unmapped_read_is_timed_and_counted() {
+        let (mut ftl, mut tl, cfg) = setup();
+        let done = ftl.read_page(99, 0, &mut tl);
+        assert_eq!(done, cfg.read_latency_ns + cfg.page_transfer_ns());
+        assert_eq!(ftl.stats().unmapped_reads, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        assert_eq!(ftl.write_pages(&[], 42, Placement::Striped, &mut tl), 42);
+        assert_eq!(tl.counters().user_programs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device")]
+    fn lpn_out_of_range_panics() {
+        let (mut ftl, mut tl, cfg) = setup();
+        let bad = cfg.total_pages();
+        ftl.write_pages(&[bad], 0, Placement::Striped, &mut tl);
+    }
+
+    #[test]
+    fn wear_increases_under_churn() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        for round in 0..100 {
+            for lpn in 0..32u64 {
+                ftl.write_pages(&[lpn], round, Placement::Striped, &mut tl);
+            }
+        }
+        assert!(ftl.max_erase_count() >= 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Page-level flash translation layer with greedy garbage collection.
+//!
+//! Table 1 of the paper specifies a page-level FTL ("FTL Scheme: Page level")
+//! with a 10 % GC threshold. This crate provides:
+//!
+//! * [`Ftl`] — logical-to-physical mapping, dynamic page allocation, and the
+//!   write/read entry points the simulator calls. Two placement modes exist
+//!   because the paper's §4.2.2 hinges on them:
+//!   [`Placement::Striped`] spreads a flush batch round-robin across chips
+//!   (what LRU/VBBMS/Req-block evictions get — the "multiple channels"
+//!   parallelism), while [`Placement::SingleBlock`] appends the whole batch
+//!   on one chip (BPLRU's whole-block flush, which serializes on a single
+//!   channel and is why BPLRU loses on response time despite similar hit
+//!   ratios).
+//! * [`blocks`] — per-chip block state: free lists, append points, per-block
+//!   valid bitmaps (`u64`, hence the 64 pages/block limit), erase counts.
+//! * [`gc`] — greedy victim selection via a lazy max-heap keyed on invalid
+//!   page count; GC migrates valid pages within the chip and erases the
+//!   victim, charging all of it to the chip's timeline so later host
+//!   operations observe the delay.
+
+pub mod blocks;
+pub mod ftl;
+pub mod gc;
+
+pub use blocks::{BlockState, ChipBlocks};
+pub use ftl::{Ftl, FtlStats, Placement};

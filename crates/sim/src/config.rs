@@ -1,0 +1,190 @@
+//! Simulation configuration: SSD, cache size, and policy selection.
+
+use reqblock_cache::policies::{
+    BplruCache, BplruConfig, CflruCache, CflruConfig, FabCache, FifoCache, LfuCache, LruCache,
+    PudLruCache, VbbmsCache, VbbmsConfig,
+};
+use reqblock_cache::WriteBuffer;
+use reqblock_core::{ReqBlock, ReqBlockConfig};
+use reqblock_flash::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// The paper's three data-cache sizes (§4.1: "the size of data cache varying
+/// from 16 MB to 64 MB for our 128 GB SSD device").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheSizeMb {
+    /// 16 MB = 4096 pages.
+    Mb16,
+    /// 32 MB = 8192 pages.
+    Mb32,
+    /// 64 MB = 16384 pages.
+    Mb64,
+}
+
+impl CacheSizeMb {
+    /// All three sizes, smallest first.
+    pub const ALL: [CacheSizeMb; 3] = [CacheSizeMb::Mb16, CacheSizeMb::Mb32, CacheSizeMb::Mb64];
+
+    /// Size in megabytes.
+    pub fn mb(self) -> usize {
+        match self {
+            CacheSizeMb::Mb16 => 16,
+            CacheSizeMb::Mb32 => 32,
+            CacheSizeMb::Mb64 => 64,
+        }
+    }
+
+    /// Capacity in 4 KB pages.
+    pub fn pages(self) -> usize {
+        self.mb() * 1024 * 1024 / 4096
+    }
+}
+
+impl std::fmt::Display for CacheSizeMb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}MB", self.mb())
+    }
+}
+
+/// Which cache policy to run. Carries the per-policy configuration so a
+/// whole experiment grid is expressible as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Page-level LRU (baseline).
+    Lru,
+    /// Page-level FIFO.
+    Fifo,
+    /// Page-level LFU.
+    Lfu,
+    /// Clean-first LRU.
+    Cflru(CflruConfig),
+    /// Flash-aware buffer (largest-group eviction).
+    Fab,
+    /// Predicted-update-distance block buffer.
+    PudLru,
+    /// Block padding LRU.
+    Bplru(BplruConfig),
+    /// Virtual-block split-region scheme.
+    Vbbms(VbbmsConfig),
+    /// The paper's contribution.
+    ReqBlock(ReqBlockConfig),
+}
+
+impl PolicyKind {
+    /// The four schemes of the paper's headline comparison (Figures 8-11),
+    /// in the paper's order.
+    pub fn paper_comparison() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Lru,
+            PolicyKind::Bplru(BplruConfig::default()),
+            PolicyKind::Vbbms(VbbmsConfig::default()),
+            PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+        ]
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::Cflru(_) => "CFLRU",
+            PolicyKind::Fab => "FAB",
+            PolicyKind::PudLru => "PUD-LRU",
+            PolicyKind::Bplru(_) => "BPLRU",
+            PolicyKind::Vbbms(_) => "VBBMS",
+            PolicyKind::ReqBlock(_) => "Req-block",
+        }
+    }
+
+    /// Instantiate the policy for a cache of `cache_pages` pages on an SSD
+    /// with `pages_per_block` pages per flash block.
+    pub fn build(&self, cache_pages: usize, pages_per_block: usize) -> Box<dyn WriteBuffer> {
+        match *self {
+            PolicyKind::Lru => Box::new(LruCache::new(cache_pages)),
+            PolicyKind::Fifo => Box::new(FifoCache::new(cache_pages)),
+            PolicyKind::Lfu => Box::new(LfuCache::new(cache_pages)),
+            PolicyKind::Cflru(cfg) => Box::new(CflruCache::new(cache_pages, cfg)),
+            PolicyKind::Fab => Box::new(FabCache::new(cache_pages, pages_per_block)),
+            PolicyKind::PudLru => Box::new(PudLruCache::new(cache_pages, pages_per_block)),
+            PolicyKind::Bplru(cfg) => Box::new(BplruCache::new(cache_pages, pages_per_block, cfg)),
+            PolicyKind::Vbbms(cfg) => Box::new(VbbmsCache::new(cache_pages, cfg)),
+            PolicyKind::ReqBlock(cfg) => Box::new(ReqBlock::new(cache_pages, cfg)),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// SSD geometry and timing (Table 1).
+    pub ssd: SsdConfig,
+    /// Data-cache capacity in pages.
+    pub cache_pages: usize,
+    /// Cache management scheme.
+    pub policy: PolicyKind,
+    /// Sample metadata size / node count every this many requests (for the
+    /// Figure 12 space-overhead averages). 0 disables sampling.
+    pub overhead_sample_every: u64,
+}
+
+impl SimConfig {
+    /// The paper's setup: Table 1 SSD with one of the three cache sizes.
+    pub fn paper(cache: CacheSizeMb, policy: PolicyKind) -> Self {
+        Self {
+            ssd: SsdConfig::paper(),
+            cache_pages: cache.pages(),
+            policy,
+            overhead_sample_every: 1_000,
+        }
+    }
+
+    /// Miniature setup for unit tests: tiny SSD, `cache_pages`-page cache.
+    pub fn tiny(cache_pages: usize, policy: PolicyKind) -> Self {
+        Self {
+            ssd: SsdConfig::tiny(),
+            cache_pages,
+            policy,
+            overhead_sample_every: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_sizes_match_paper() {
+        assert_eq!(CacheSizeMb::Mb16.pages(), 4096);
+        assert_eq!(CacheSizeMb::Mb32.pages(), 8192);
+        assert_eq!(CacheSizeMb::Mb64.pages(), 16384);
+        assert_eq!(CacheSizeMb::Mb32.to_string(), "32MB");
+    }
+
+    #[test]
+    fn paper_comparison_order() {
+        let names: Vec<&str> = PolicyKind::paper_comparison().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["LRU", "BPLRU", "VBBMS", "Req-block"]);
+    }
+
+    #[test]
+    fn build_constructs_each_policy() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::Cflru(CflruConfig::default()),
+            PolicyKind::Fab,
+            PolicyKind::PudLru,
+            PolicyKind::Bplru(BplruConfig::default()),
+            PolicyKind::Vbbms(VbbmsConfig::default()),
+            PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+        ] {
+            let buf = kind.build(128, 64);
+            assert_eq!(buf.capacity_pages(), 128);
+            assert_eq!(buf.len_pages(), 0);
+            assert_eq!(buf.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper reports mean response times (Figure 8); tail behaviour is an
+//! extension this reproduction adds because the policies differ most in
+//! their *tails*: a BPLRU whole-block flush stalls one request for tens of
+//! milliseconds while barely moving the mean. Buckets grow geometrically
+//! (x2) from 1 us, covering 1 us .. ~1100 s in 30 buckets, with exact
+//! tracking of count, sum, min and max.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of geometric buckets.
+const BUCKETS: usize = 30;
+/// Lower bound of bucket 0 in ns (1 us).
+const BASE_NS: u64 = 1_000;
+
+/// Fixed-size log2 histogram of response times.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [0; BUCKETS], total: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    /// Smallest bucket whose upper bound covers `ns`: bucket `i` holds
+    /// samples in `(BASE << (i-1), BASE << i]` (bucket 0: `[0, BASE]`).
+    fn bucket_of(ns: u64) -> usize {
+        if ns <= BASE_NS {
+            return 0;
+        }
+        let q = ns.div_ceil(BASE_NS); // > 1 here
+        ((64 - (q - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` in ns (the last bucket is
+    /// unbounded and reports `u64::MAX`).
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            BASE_NS << i
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum_ns as f64 / self.total as f64
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound (ns) of the bucket containing the q-quantile
+    /// (0.0 < q <= 1.0). Bucketed, so accurate to a factor of two — enough
+    /// to distinguish "microseconds" from "a flush stall".
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                // Cap by the observed max: tighter than the bucket bound.
+                return Self::bucket_upper_ns(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        if other.total > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+
+    /// `(bucket_upper_ns, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_ns(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.quantile_upper_ns(0.99), 0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1_000u64, 2_000, 3_000, 10_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_ns(), 4_000.0);
+        assert_eq!(h.min_ns(), 1_000);
+        assert_eq!(h.max_ns(), 10_000);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast samples, 1 slow one.
+        for _ in 0..99 {
+            h.record(2_000);
+        }
+        h.record(50_000_000); // 50 ms
+        let p50 = h.quantile_upper_ns(0.5);
+        assert!(p50 <= 4_000, "p50 {p50}");
+        let p99 = h.quantile_upper_ns(0.99);
+        assert!(p99 <= 4_000, "p99 {p99}");
+        let p100 = h.quantile_upper_ns(1.0);
+        assert_eq!(p100, 50_000_000);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let b = LatencyHistogram::bucket_upper_ns(i);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn samples_fall_into_their_bucket() {
+        for ns in [0u64, 1, 999, 1_000, 1_001, 123_456, u64::MAX / 2] {
+            let b = LatencyHistogram::bucket_of(ns);
+            assert!(ns <= LatencyHistogram::bucket_upper_ns(b));
+            if b > 0 {
+                assert!(ns > LatencyHistogram::bucket_upper_ns(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_000);
+        b.record(1_000_000);
+        b.record(8_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ns(), 1_000);
+        assert_eq!(a.max_ns(), 1_000_000);
+        assert_eq!(a.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let h = LatencyHistogram::new();
+        let _ = h.quantile_upper_ns(1.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Trace-driven SSD simulator.
+//!
+//! Ties the substrates together the way Figure 1 of the paper draws them:
+//! host requests arrive at the HIL, write data is buffered in the DRAM
+//! cache ([`reqblock_cache::WriteBuffer`]), evicted batches are flushed
+//! through the page-level FTL ([`reqblock_ftl::Ftl`]) onto the multi-channel
+//! flash array ([`reqblock_flash::FlashTimeline`]), and read misses fetch
+//! from flash.
+//!
+//! Timing model (see `reqblock-flash` docs): operations reserve per-channel
+//! and per-chip busy horizons; a request's response time is the completion
+//! of its slowest page. Cache hits cost one DRAM access. A write that
+//! triggers eviction **stalls until the victim flush completes** — the
+//! buffered data cannot be overwritten before it is safe on flash — which is
+//! the mechanism that translates eviction-batch placement into the response
+//! time differences of the paper's Figure 8.
+//!
+//! * [`SimConfig`]/[`PolicyKind`]/[`CacheSizeMb`] — run configuration.
+//! * [`machine::Ssd`] — the device model (`submit` one request at a time).
+//! * [`Metrics`] — hit/response/eviction counters (Figures 8-11).
+//! * [`probes`] — figure-specific instrumentation (Figures 2, 3, 13).
+//! * [`runner`] — whole-trace execution and multi-run sweeps.
+
+pub mod config;
+pub mod histogram;
+pub mod machine;
+pub mod metrics;
+pub mod probes;
+pub mod runner;
+
+pub use config::{CacheSizeMb, PolicyKind, SimConfig};
+pub use histogram::LatencyHistogram;
+pub use machine::Ssd;
+pub use metrics::Metrics;
+pub use runner::{run_jobs, run_trace, run_trace_probed, Job, RunResult, TraceSource};

@@ -1,0 +1,286 @@
+//! The simulated SSD: DRAM write buffer + FTL + flash timeline.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use crate::probes::Probe;
+use reqblock_cache::{Access, EvictionBatch, Placement as CachePlacement, WriteBuffer};
+use reqblock_flash::{FlashTimeline, OpCounters};
+use reqblock_ftl::{Ftl, FtlStats, Placement as FtlPlacement};
+use reqblock_trace::{OpType, Request};
+
+/// One simulated SSD instance. Feed it requests in trace order via
+/// [`Ssd::submit`]; collect results with the accessors afterwards.
+pub struct Ssd {
+    cfg: SimConfig,
+    cache: Box<dyn WriteBuffer>,
+    ftl: Ftl,
+    timeline: FlashTimeline,
+    metrics: Metrics,
+    /// Logical time: pages processed so far (the time base of Eq. 1).
+    logical_now: u64,
+    /// Monotone request counter (request-block identity).
+    req_counter: u64,
+}
+
+impl Ssd {
+    /// Build a fresh device per `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.ssd.validate().expect("invalid SSD config");
+        assert!(cfg.cache_pages > 0, "cache must hold at least one page");
+        let cache = cfg.policy.build(cfg.cache_pages, cfg.ssd.pages_per_block);
+        let ftl = Ftl::new(&cfg.ssd);
+        let timeline = FlashTimeline::new(&cfg.ssd);
+        Self { cache, ftl, timeline, metrics: Metrics::default(), logical_now: 0, req_counter: 0, cfg }
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Flash operation counters (user/GC programs, reads, erases).
+    pub fn flash_counters(&self) -> &OpCounters {
+        self.timeline.counters()
+    }
+
+    /// FTL/GC statistics.
+    pub fn ftl_stats(&self) -> &FtlStats {
+        self.ftl.stats()
+    }
+
+    /// The cache policy (for probes and occupancy queries).
+    pub fn cache(&self) -> &dyn WriteBuffer {
+        self.cache.as_ref()
+    }
+
+    /// Run configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn flush_batch(&mut self, batch: &EvictionBatch, at: u64) -> u64 {
+        if !batch.dirty {
+            self.metrics.clean_dropped_pages += batch.lpns.len() as u64;
+            return at;
+        }
+        self.metrics.evictions += 1;
+        self.metrics.evicted_pages += batch.lpns.len() as u64;
+        let mut done = at;
+        // BPLRU padding: fetch the block's missing pages before programming.
+        for &lpn in &batch.pad_reads {
+            self.metrics.pad_read_pages += 1;
+            done = done.max(self.ftl.read_page(lpn, at, &mut self.timeline));
+        }
+        let placement = match batch.placement {
+            CachePlacement::Striped => FtlPlacement::Striped,
+            CachePlacement::SingleBlock => FtlPlacement::SingleBlock,
+        };
+        done.max(self.ftl.write_pages(&batch.lpns, done, placement, &mut self.timeline))
+    }
+
+    /// Submit one request; returns its response time in ns.
+    pub fn submit(&mut self, req: &Request) -> u64 {
+        self.submit_probed(req, &mut [])
+    }
+
+    /// Submit one request, invoking `probes` on every page access.
+    pub fn submit_probed(&mut self, req: &Request, probes: &mut [&mut dyn Probe]) -> u64 {
+        let at = req.time_ns;
+        let pages = req.page_count();
+        let req_id = self.req_counter;
+        self.req_counter += 1;
+        self.metrics.requests += 1;
+        let mut done = at;
+        let mut evictions: Vec<EvictionBatch> = Vec::new();
+        match req.op {
+            OpType::Write => {
+                self.metrics.write_reqs += 1;
+                for lpn in req.lpns() {
+                    self.logical_now += 1;
+                    let a = Access { lpn, req_id, req_pages: pages as u32, now: self.logical_now };
+                    evictions.clear();
+                    let hit = self.cache.write(&a, &mut evictions);
+                    self.metrics.write_pages += 1;
+                    if hit {
+                        self.metrics.write_hits += 1;
+                    }
+                    for p in probes.iter_mut() {
+                        p.on_page(&a, true, hit);
+                    }
+                    // Buffered write: one DRAM access, plus — when this page
+                    // forced an eviction — the victim flush it must wait
+                    // for: the buffered data cannot be overwritten before it
+                    // is safe on flash. Batch evictions amortize this stall
+                    // over every page they free (§4.2.2: "each eviction
+                    // operation can make more available cache space"), and
+                    // striped placement bounds it to about one program
+                    // latency, while BPLRU's single-block flushes serialize.
+                    done = done.max(at + self.cfg.ssd.dram_access_ns);
+                    for batch in std::mem::take(&mut evictions) {
+                        done = done.max(self.flush_batch(&batch, at));
+                    }
+                }
+            }
+            OpType::Read => {
+                self.metrics.read_reqs += 1;
+                for lpn in req.lpns() {
+                    self.logical_now += 1;
+                    let a = Access { lpn, req_id, req_pages: pages as u32, now: self.logical_now };
+                    evictions.clear();
+                    let hit = self.cache.read(&a, &mut evictions);
+                    self.metrics.read_pages += 1;
+                    if hit {
+                        self.metrics.read_hits += 1;
+                        done = done.max(at + self.cfg.ssd.dram_access_ns);
+                    } else {
+                        done = done.max(self.ftl.read_page(lpn, at, &mut self.timeline));
+                    }
+                    for p in probes.iter_mut() {
+                        p.on_page(&a, false, hit);
+                    }
+                    // Read-caching policies (CFLRU ablation) may evict here;
+                    // same synchronous stall as the write path.
+                    for batch in std::mem::take(&mut evictions) {
+                        done = done.max(self.flush_batch(&batch, at));
+                    }
+                }
+            }
+        }
+        let response = done.saturating_sub(at);
+        self.metrics.record_response(response);
+        if self.cfg.overhead_sample_every > 0 && req_id.is_multiple_of(self.cfg.overhead_sample_every) {
+            self.metrics.overhead_samples += 1;
+            self.metrics.metadata_bytes_sum += self.cache.metadata_bytes() as u128;
+            self.metrics.node_count_sum += self.cache.node_count() as u128;
+        }
+        for p in probes.iter_mut() {
+            p.on_request_end(req_id, self.cache.as_ref());
+        }
+        response
+    }
+
+    /// Flush everything still buffered (end-of-trace). The flush traffic is
+    /// counted in the flash counters but not in request response times.
+    pub fn drain_cache(&mut self) {
+        let at = self.logical_now; // any time after the last request
+        for batch in self.cache.drain() {
+            if batch.dirty {
+                self.metrics.evictions += 1;
+                self.metrics.evicted_pages += batch.lpns.len() as u64;
+                let placement = match batch.placement {
+                    CachePlacement::Striped => FtlPlacement::Striped,
+                    CachePlacement::SingleBlock => FtlPlacement::SingleBlock,
+                };
+                self.ftl.write_pages(&batch.lpns, at, placement, &mut self.timeline);
+            }
+        }
+    }
+}
+
+impl Ssd {
+    /// Nanoseconds the given chip's busy horizon extends past `now`
+    /// (diagnostics; 0 when the chip is idle at `now`).
+    pub fn chip_lag_ns(&self, chip: usize, now: u64) -> i64 {
+        self.timeline.chip_free_at(chip) as i64 - now as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use reqblock_core::ReqBlockConfig;
+
+    fn tiny(policy: PolicyKind, cache_pages: usize) -> Ssd {
+        Ssd::new(SimConfig::tiny(cache_pages, policy))
+    }
+
+    #[test]
+    fn buffered_write_is_fast() {
+        let mut ssd = tiny(PolicyKind::Lru, 16);
+        let r = ssd.submit(&Request::write_pages(0, 0, 2));
+        // Two pages, no eviction: response = DRAM access time.
+        assert_eq!(r, ssd.config().ssd.dram_access_ns);
+        assert_eq!(ssd.metrics().write_pages, 2);
+        assert_eq!(ssd.flash_counters().user_programs, 0, "no flash traffic yet");
+    }
+
+    #[test]
+    fn read_hit_from_buffer_read_miss_from_flash() {
+        let mut ssd = tiny(PolicyKind::Lru, 16);
+        ssd.submit(&Request::write_pages(0, 0, 1));
+        let hit = ssd.submit(&Request::read_pages(1000, 0, 1));
+        assert_eq!(hit, ssd.config().ssd.dram_access_ns);
+        let miss = ssd.submit(&Request::read_pages(2000, 50, 1));
+        assert!(miss > hit, "flash read must be slower than DRAM");
+        assert_eq!(ssd.metrics().read_hits, 1);
+        assert_eq!(ssd.metrics().read_pages, 2);
+    }
+
+    #[test]
+    fn eviction_stalls_the_triggering_write() {
+        let mut ssd = tiny(PolicyKind::Lru, 4);
+        for i in 0..4 {
+            ssd.submit(&Request::write_pages(i, i, 1));
+        }
+        // The 5th write waits for the victim flush: >= transfer + program.
+        let r = ssd.submit(&Request::write_pages(100, 100, 1));
+        let cfg = &ssd.config().ssd;
+        assert!(r >= cfg.page_transfer_ns() + cfg.program_latency_ns);
+        assert_eq!(ssd.metrics().evictions, 1);
+        assert_eq!(ssd.flash_counters().user_programs, 1);
+    }
+
+    #[test]
+    fn write_hit_absorbs_without_flash_traffic() {
+        let mut ssd = tiny(PolicyKind::Lru, 4);
+        ssd.submit(&Request::write_pages(0, 7, 1));
+        ssd.submit(&Request::write_pages(10, 7, 1));
+        assert_eq!(ssd.metrics().write_hits, 1);
+        assert_eq!(ssd.flash_counters().user_programs, 0);
+    }
+
+    #[test]
+    fn reqblock_policy_runs_end_to_end() {
+        let mut ssd = tiny(PolicyKind::ReqBlock(ReqBlockConfig::paper()), 32);
+        for i in 0..20u64 {
+            ssd.submit(&Request::write_pages(i * 10, (i * 3) % 64, 1 + i % 6));
+        }
+        for i in 0..10u64 {
+            ssd.submit(&Request::read_pages(1000 + i, (i * 3) % 64, 1));
+        }
+        let m = ssd.metrics();
+        assert_eq!(m.requests, 30);
+        assert!(m.hit_ratio() > 0.0);
+        assert!(ssd.cache().list_occupancy().is_some());
+    }
+
+    #[test]
+    fn drain_flushes_residual_pages() {
+        let mut ssd = tiny(PolicyKind::Lru, 16);
+        ssd.submit(&Request::write_pages(0, 0, 5));
+        assert_eq!(ssd.flash_counters().user_programs, 0);
+        ssd.drain_cache();
+        assert_eq!(ssd.flash_counters().user_programs, 5);
+        assert_eq!(ssd.cache().len_pages(), 0);
+    }
+
+    #[test]
+    fn response_time_counts_from_arrival() {
+        let mut ssd = tiny(PolicyKind::Lru, 16);
+        // Arrival far in the future: response is still just the DRAM time.
+        let r = ssd.submit(&Request::write_pages(1_000_000_000, 0, 1));
+        assert_eq!(r, ssd.config().ssd.dram_access_ns);
+    }
+
+    #[test]
+    fn overhead_sampling_accumulates() {
+        let mut ssd = tiny(PolicyKind::Lru, 16);
+        for i in 0..25u64 {
+            ssd.submit(&Request::write_pages(i, i % 8, 1));
+        }
+        // sample_every = 10 in tiny config -> samples at req 0, 10, 20.
+        assert_eq!(ssd.metrics().overhead_samples, 3);
+        assert!(ssd.metrics().avg_metadata_bytes() > 0.0);
+    }
+}

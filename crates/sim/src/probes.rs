@@ -1,0 +1,327 @@
+//! Figure-specific instrumentation.
+//!
+//! Probes observe every page access and request boundary without touching
+//! the device model. Three are provided, one per instrumented figure:
+//!
+//! * [`SizeCdfProbe`] — Figure 2: CDFs of page inserts and page hits as a
+//!   function of the size of the *inserting* write request.
+//! * [`LargeReqHitProbe`] — Figure 3: what fraction of pages inserted by
+//!   large requests is ever re-accessed while cached.
+//! * [`ListOccupancyProbe`] — Figure 13: pages per Req-block list, sampled
+//!   every 10 000 requests.
+
+use reqblock_cache::{Access, WriteBuffer};
+use reqblock_trace::Lpn;
+use std::collections::HashMap;
+
+/// Observer of page accesses and request completions.
+pub trait Probe {
+    /// Called once per page access. `is_write` distinguishes the op;
+    /// `hit` says whether the buffer already held the page.
+    fn on_page(&mut self, _a: &Access, _is_write: bool, _hit: bool) {}
+
+    /// Called after each request completes, with access to the cache.
+    fn on_request_end(&mut self, _req_index: u64, _cache: &dyn WriteBuffer) {}
+}
+
+/// Figure 2 probe: attribute every page insert and every subsequent hit to
+/// the page count of the write request that inserted the page.
+#[derive(Debug, Default)]
+pub struct SizeCdfProbe {
+    /// lpn -> size (pages) of the request that last inserted it.
+    inserted_by: HashMap<Lpn, u32>,
+    /// request size -> pages inserted.
+    pub inserts_by_size: HashMap<u32, u64>,
+    /// request size (of the inserting request) -> hits observed.
+    pub hits_by_size: HashMap<u32, u64>,
+}
+
+impl SizeCdfProbe {
+    /// Fresh probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CDF points `(size, cumulative_fraction)` for a counter map, sorted by
+    /// size ascending.
+    fn cdf(map: &HashMap<u32, u64>) -> Vec<(u32, f64)> {
+        let total: u64 = map.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut sizes: Vec<u32> = map.keys().copied().collect();
+        sizes.sort_unstable();
+        let mut acc = 0u64;
+        sizes
+            .into_iter()
+            .map(|s| {
+                acc += map[&s];
+                (s, acc as f64 / total as f64)
+            })
+            .collect()
+    }
+
+    /// CDF of inserted pages by request size.
+    pub fn insert_cdf(&self) -> Vec<(u32, f64)> {
+        Self::cdf(&self.inserts_by_size)
+    }
+
+    /// CDF of page hits by inserting-request size.
+    pub fn hit_cdf(&self) -> Vec<(u32, f64)> {
+        Self::cdf(&self.hits_by_size)
+    }
+
+    /// Fraction of all hits landing on pages inserted by requests of at most
+    /// `size` pages.
+    pub fn hit_fraction_upto(&self, size: u32) -> f64 {
+        let total: u64 = self.hits_by_size.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let small: u64 =
+            self.hits_by_size.iter().filter(|(s, _)| **s <= size).map(|(_, c)| *c).sum();
+        small as f64 / total as f64
+    }
+
+    /// Fraction of all inserted pages coming from requests of at most `size`
+    /// pages.
+    pub fn insert_fraction_upto(&self, size: u32) -> f64 {
+        let total: u64 = self.inserts_by_size.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let small: u64 =
+            self.inserts_by_size.iter().filter(|(s, _)| **s <= size).map(|(_, c)| *c).sum();
+        small as f64 / total as f64
+    }
+}
+
+impl Probe for SizeCdfProbe {
+    fn on_page(&mut self, a: &Access, is_write: bool, hit: bool) {
+        if hit {
+            if let Some(&size) = self.inserted_by.get(&a.lpn) {
+                *self.hits_by_size.entry(size).or_insert(0) += 1;
+            }
+        } else if is_write {
+            // Insert: the page now belongs to this request's size class.
+            self.inserted_by.insert(a.lpn, a.req_pages);
+            *self.inserts_by_size.entry(a.req_pages).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Figure 3 probe: per *insertion episode* of pages written by large
+/// requests (strictly more pages than `threshold`), record whether the page
+/// was hit before being re-inserted. The paper's Figure 3 reports the
+/// hit/not-hit split of those episodes (22.0-37.2 % hit).
+#[derive(Debug)]
+pub struct LargeReqHitProbe {
+    threshold: u32,
+    /// lpn -> was this episode's page hit yet?
+    live: HashMap<Lpn, bool>,
+    /// Completed episodes.
+    pub episodes: u64,
+    /// Completed episodes whose page was hit at least once.
+    pub episodes_hit: u64,
+}
+
+impl LargeReqHitProbe {
+    /// Pages from requests with more than `threshold_pages` pages count as
+    /// "large" (the paper uses the trace's mean request size).
+    pub fn new(threshold_pages: u32) -> Self {
+        Self { threshold: threshold_pages, live: HashMap::new(), episodes: 0, episodes_hit: 0 }
+    }
+
+    fn finalize(&mut self, hit: bool) {
+        self.episodes += 1;
+        if hit {
+            self.episodes_hit += 1;
+        }
+    }
+
+    /// Close all outstanding episodes; call once after the trace.
+    pub fn finish(&mut self) {
+        let live = std::mem::take(&mut self.live);
+        for (_, hit) in live {
+            self.finalize(hit);
+        }
+    }
+
+    /// Fraction of large-request pages re-accessed while cached.
+    pub fn hit_fraction(&self) -> f64 {
+        if self.episodes == 0 {
+            return 0.0;
+        }
+        self.episodes_hit as f64 / self.episodes as f64
+    }
+}
+
+impl Probe for LargeReqHitProbe {
+    fn on_page(&mut self, a: &Access, is_write: bool, hit: bool) {
+        if hit {
+            if let Some(flag) = self.live.get_mut(&a.lpn) {
+                *flag = true;
+            }
+            return;
+        }
+        if is_write && a.req_pages > self.threshold {
+            // New episode for this page; close any previous one.
+            if let Some(prev) = self.live.insert(a.lpn, false) {
+                self.finalize(prev);
+            }
+        } else if is_write {
+            // A small request re-inserted the page: the large episode ends.
+            if let Some(prev) = self.live.remove(&a.lpn) {
+                self.finalize(prev);
+            }
+        }
+    }
+}
+
+/// Figure 13 probe: sample `[IRL, SRL, DRL]` page counts every
+/// `sample_every` requests.
+#[derive(Debug)]
+pub struct ListOccupancyProbe {
+    sample_every: u64,
+    /// `(request_index, [irl, srl, drl])` samples.
+    pub samples: Vec<(u64, [usize; 3])>,
+}
+
+impl ListOccupancyProbe {
+    /// Sample every `sample_every` requests (the paper logs every 10 000).
+    pub fn new(sample_every: u64) -> Self {
+        assert!(sample_every > 0);
+        Self { sample_every, samples: Vec::new() }
+    }
+}
+
+impl Probe for ListOccupancyProbe {
+    fn on_request_end(&mut self, req_index: u64, cache: &dyn WriteBuffer) {
+        if req_index.is_multiple_of(self.sample_every) {
+            if let Some(occ) = cache.list_occupancy() {
+                self.samples.push((req_index, occ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(lpn: Lpn, req_pages: u32) -> Access {
+        Access { lpn, req_id: 0, req_pages, now: 0 }
+    }
+
+    #[test]
+    fn size_cdf_attributes_hits_to_inserting_request() {
+        let mut p = SizeCdfProbe::new();
+        // Insert lpn 0 via a 2-page request, lpn 1 via a 10-page request.
+        p.on_page(&acc(0, 2), true, false);
+        p.on_page(&acc(1, 10), true, false);
+        // Three hits on lpn 0 (even from differently sized requests).
+        p.on_page(&acc(0, 8), false, true);
+        p.on_page(&acc(0, 1), true, true);
+        p.on_page(&acc(0, 1), false, true);
+        // One hit on lpn 1.
+        p.on_page(&acc(1, 1), false, true);
+        assert_eq!(p.inserts_by_size[&2], 1);
+        assert_eq!(p.inserts_by_size[&10], 1);
+        assert_eq!(p.hits_by_size[&2], 3);
+        assert_eq!(p.hits_by_size[&10], 1);
+        assert!((p.hit_fraction_upto(2) - 0.75).abs() < 1e-12);
+        assert!((p.insert_fraction_upto(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_cdf_reinsert_reattributes() {
+        let mut p = SizeCdfProbe::new();
+        p.on_page(&acc(0, 10), true, false); // inserted by large
+        // Evicted (invisible to the probe), re-inserted by a small request.
+        p.on_page(&acc(0, 1), true, false);
+        p.on_page(&acc(0, 4), false, true);
+        assert_eq!(p.hits_by_size[&1], 1);
+        assert!(!p.hits_by_size.contains_key(&10));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut p = SizeCdfProbe::new();
+        for (lpn, size) in [(0u64, 1u32), (1, 1), (2, 4), (3, 16)] {
+            p.on_page(&acc(lpn, size), true, false);
+        }
+        let cdf = p.insert_cdf();
+        assert_eq!(cdf.len(), 3);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_hit_probe_counts_episodes() {
+        let mut p = LargeReqHitProbe::new(4);
+        // Two pages inserted by a large (8-page) request.
+        p.on_page(&acc(0, 8), true, false);
+        p.on_page(&acc(1, 8), true, false);
+        // lpn 0 gets hit; lpn 1 never.
+        p.on_page(&acc(0, 1), false, true);
+        p.finish();
+        assert_eq!(p.episodes, 2);
+        assert_eq!(p.episodes_hit, 1);
+        assert!((p.hit_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_hit_probe_ignores_small_inserts() {
+        let mut p = LargeReqHitProbe::new(4);
+        p.on_page(&acc(0, 2), true, false); // small insert: not tracked
+        p.on_page(&acc(0, 1), false, true);
+        p.finish();
+        assert_eq!(p.episodes, 0);
+    }
+
+    #[test]
+    fn large_hit_probe_closes_episode_on_reinsert() {
+        let mut p = LargeReqHitProbe::new(4);
+        p.on_page(&acc(0, 8), true, false);
+        p.on_page(&acc(0, 8), true, false); // re-insert: closes unhit episode
+        p.on_page(&acc(0, 2), true, false); // small insert closes second one
+        p.finish();
+        assert_eq!(p.episodes, 2);
+        assert_eq!(p.episodes_hit, 0);
+    }
+
+    #[test]
+    fn occupancy_probe_samples_reqblock_only() {
+        use crate::config::{PolicyKind, SimConfig};
+        use crate::machine::Ssd;
+        use reqblock_core::ReqBlockConfig;
+        use reqblock_trace::Request;
+
+        let mut probe = ListOccupancyProbe::new(2);
+        {
+            let mut ssd = Ssd::new(SimConfig::tiny(16, PolicyKind::Lru));
+            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
+            for i in 0..5u64 {
+                ssd.submit_probed(&Request::write_pages(i, i, 1), &mut probes);
+            }
+        }
+        assert!(probe.samples.is_empty(), "LRU reports no occupancy");
+
+        let mut probe = ListOccupancyProbe::new(2);
+        {
+            let mut ssd =
+                Ssd::new(SimConfig::tiny(16, PolicyKind::ReqBlock(ReqBlockConfig::paper())));
+            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
+            for i in 0..5u64 {
+                ssd.submit_probed(&Request::write_pages(i, i, 1), &mut probes);
+            }
+        }
+        assert_eq!(probe.samples.len(), 3); // requests 0, 2, 4
+        for (_, occ) in &probe.samples {
+            assert!(occ.iter().sum::<usize>() <= 16);
+        }
+    }
+}

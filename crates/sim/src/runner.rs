@@ -1,0 +1,233 @@
+//! Whole-trace execution and multi-run sweeps.
+
+use crate::config::SimConfig;
+use crate::machine::Ssd;
+use crate::metrics::Metrics;
+use crate::probes::Probe;
+use parking_lot::Mutex;
+use reqblock_flash::OpCounters;
+use reqblock_ftl::FtlStats;
+use reqblock_trace::{Request, SyntheticTrace, WorkloadProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Policy name (e.g. `"Req-block"`).
+    pub policy: String,
+    /// Cache capacity in pages.
+    pub cache_pages: usize,
+    /// Request/hit/eviction/response metrics.
+    pub metrics: Metrics,
+    /// Flash operation counters (Figure 11's write count lives here).
+    pub flash: OpCounters,
+    /// GC statistics.
+    pub ftl: FtlStats,
+}
+
+impl RunResult {
+    /// Figure 11's "write count to flash memory": pages programmed on behalf
+    /// of cache flushes during the trace (GC traffic reported separately).
+    pub fn flash_user_writes(&self) -> u64 {
+        self.flash.user_programs
+    }
+}
+
+/// Replay `trace` through a fresh device built from `cfg`.
+///
+/// The residual cache content is *not* drained: the paper's metrics count
+/// traffic during the trace. Use [`run_trace_drained`] when write
+/// amplification over the full data set matters.
+pub fn run_trace<I>(cfg: &SimConfig, trace: I) -> RunResult
+where
+    I: IntoIterator<Item = Request>,
+{
+    run_trace_probed(cfg, trace, &mut [])
+}
+
+/// [`run_trace`] plus probe instrumentation.
+pub fn run_trace_probed<I>(cfg: &SimConfig, trace: I, probes: &mut [&mut dyn Probe]) -> RunResult
+where
+    I: IntoIterator<Item = Request>,
+{
+    let mut ssd = Ssd::new(cfg.clone());
+    for req in trace {
+        ssd.submit_probed(&req, probes);
+    }
+    RunResult {
+        policy: cfg.policy.name().to_string(),
+        cache_pages: cfg.cache_pages,
+        metrics: ssd.metrics().clone(),
+        flash: *ssd.flash_counters(),
+        ftl: *ssd.ftl_stats(),
+    }
+}
+
+/// [`run_trace`] followed by a full cache drain.
+pub fn run_trace_drained<I>(cfg: &SimConfig, trace: I) -> RunResult
+where
+    I: IntoIterator<Item = Request>,
+{
+    let mut ssd = Ssd::new(cfg.clone());
+    for req in trace {
+        ssd.submit(&req);
+    }
+    ssd.drain_cache();
+    RunResult {
+        policy: cfg.policy.name().to_string(),
+        cache_pages: cfg.cache_pages,
+        metrics: ssd.metrics().clone(),
+        flash: *ssd.flash_counters(),
+        ftl: *ssd.ftl_stats(),
+    }
+}
+
+/// Where a job's requests come from.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Synthesize from a workload profile (deterministic, seeded).
+    Synthetic(WorkloadProfile),
+    /// Parse an MSR-Cambridge CSV file (the paper's original traces).
+    MsrFile(std::path::PathBuf),
+}
+
+impl TraceSource {
+    /// Materialize the request stream. Panics on unreadable/invalid trace
+    /// files — experiment grids should fail loudly, not silently skip runs.
+    pub fn requests(&self) -> Vec<Request> {
+        match self {
+            TraceSource::Synthetic(profile) => {
+                SyntheticTrace::new(profile.clone()).generate_all()
+            }
+            TraceSource::MsrFile(path) => reqblock_trace::msr::parse_file(path)
+                .unwrap_or_else(|e| panic!("cannot load trace {}: {e}", path.display())),
+        }
+    }
+}
+
+/// One entry of an experiment grid: a labelled (config, workload) pair.
+/// The trace is materialized inside the worker, so jobs are cheap to
+/// construct and independent.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Free-form label (e.g. `"fig8/ts_0/32MB/Req-block"`).
+    pub label: String,
+    /// Device and policy configuration.
+    pub cfg: SimConfig,
+    /// Workload to replay.
+    pub source: TraceSource,
+}
+
+impl Job {
+    /// Convenience constructor for synthetic jobs.
+    pub fn synthetic(label: impl Into<String>, cfg: SimConfig, profile: WorkloadProfile) -> Self {
+        Self { label: label.into(), cfg, source: TraceSource::Synthetic(profile) }
+    }
+}
+
+/// Run a grid of jobs on up to `threads` worker threads (crossbeam scoped
+/// threads; trace generation happens inside the worker). Results keep job
+/// order.
+pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<(String, RunResult)> {
+    assert!(threads > 0, "need at least one worker");
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(String, RunResult)>>> = Mutex::new(vec![None; jobs.len()]);
+    let workers = threads.min(jobs.len()).max(1);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[idx];
+                let result = run_trace(&job.cfg, job.source.requests());
+                results.lock()[idx] = Some((job.label.clone(), result));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job must produce a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheSizeMb, PolicyKind};
+    use reqblock_core::ReqBlockConfig;
+    use reqblock_trace::profiles::ts_0;
+
+    fn mini_profile() -> WorkloadProfile {
+        ts_0().scaled(0.002) // ~3.6k requests
+    }
+
+    #[test]
+    fn run_trace_produces_metrics() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
+        let res = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
+        assert_eq!(res.policy, "LRU");
+        assert_eq!(res.metrics.requests, mini_profile().requests);
+        assert!(res.metrics.hit_ratio() > 0.0, "ts_0-like reuse must hit");
+        assert!(res.metrics.avg_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
+        let a = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
+        let b = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.flash, b.flash);
+    }
+
+    #[test]
+    fn drained_run_writes_at_least_as_much() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
+        let plain = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
+        let drained = run_trace_drained(&cfg, SyntheticTrace::new(mini_profile()));
+        assert!(drained.flash.user_programs >= plain.flash.user_programs);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_labels() {
+        let jobs: Vec<Job> = PolicyKind::paper_comparison()
+            .iter()
+            .map(|p| Job {
+                label: format!("test/{}", p.name()),
+                cfg: SimConfig::paper(CacheSizeMb::Mb16, *p),
+                source: TraceSource::Synthetic(mini_profile()),
+            })
+            .collect();
+        let results = run_jobs(&jobs, 2);
+        assert_eq!(results.len(), 4);
+        for (job, (label, res)) in jobs.iter().zip(&results) {
+            assert_eq!(&job.label, label);
+            assert_eq!(res.policy, job.cfg.policy.name());
+        }
+    }
+
+    #[test]
+    fn reqblock_beats_lru_on_hit_ratio_for_reuse_heavy_trace() {
+        // The headline claim at miniature scale: on a ts_0-like workload the
+        // Req-block policy should not lose to LRU on hit ratio.
+        let profile = ts_0().scaled(0.01);
+        let lru = run_trace(
+            &SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru),
+            SyntheticTrace::new(profile.clone()),
+        );
+        let rb = run_trace(
+            &SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::ReqBlock(ReqBlockConfig::paper())),
+            SyntheticTrace::new(profile),
+        );
+        assert!(
+            rb.metrics.hit_ratio() >= lru.metrics.hit_ratio() * 0.95,
+            "Req-block {:.4} vs LRU {:.4}",
+            rb.metrics.hit_ratio(),
+            lru.metrics.hit_ratio()
+        );
+    }
+}

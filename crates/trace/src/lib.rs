@@ -1,0 +1,35 @@
+//! I/O trace substrate for the Req-block reproduction.
+//!
+//! This crate provides everything the simulator consumes as workload input:
+//!
+//! * [`Request`] — the block-level I/O request model shared by every other
+//!   crate (byte offsets/lengths on the wire, 4 KB page math on top).
+//! * [`msr`] — a parser for the MSR-Cambridge block-trace CSV format used by
+//!   the paper's five Microsoft Research traces, so the experiments can replay
+//!   the original traces when they are available.
+//! * [`synth`] — calibrated synthetic workload generators standing in for the
+//!   six traces of Table 2 (`hm_1`, `lun_1`, `usr_0`, `src1_2`, `ts_0`,
+//!   `proj_0`). Each generator is seeded and fully deterministic.
+//! * [`stats`] — trace statistics reproducing the columns of Table 2
+//!   (request count, write ratio, mean write size, frequent-address ratios).
+//! * [`zipf`] — a Zipf-distributed sampler used by the generators to shape
+//!   the re-reference skew of small writes.
+//!
+//! # Page geometry
+//!
+//! The paper's SSD uses 4 KB pages ([`PAGE_SIZE`]); all cache and FTL
+//! structures operate on logical page numbers ([`Lpn`]). Requests address
+//! bytes; [`Request::start_lpn`] / [`Request::page_count`] perform the
+//! conversion, counting every page the byte range touches.
+
+pub mod msr;
+pub mod profiles;
+pub mod request;
+pub mod stats;
+pub mod synth;
+pub mod zipf;
+
+pub use profiles::{paper_profiles, WorkloadProfile};
+pub use request::{Lpn, OpType, Request, PAGE_SIZE};
+pub use stats::TraceStats;
+pub use synth::SyntheticTrace;

@@ -1,0 +1,161 @@
+//! Block-level I/O request model.
+//!
+//! A [`Request`] mirrors one line of a block trace: an arrival timestamp, an
+//! operation type, and a byte range on the logical address space of the
+//! device. All higher layers (cache, FTL) work on 4 KB logical pages, so the
+//! request also knows how to enumerate the logical page numbers it touches.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical page number. One page is [`PAGE_SIZE`] bytes.
+pub type Lpn = u64;
+
+/// Size of one flash page in bytes (Table 1: "Page Size 4KB").
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Operation type of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+impl OpType {
+    /// `true` for [`OpType::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, OpType::Write)
+    }
+}
+
+/// One host I/O request.
+///
+/// `offset` and `len` are in bytes, exactly as they appear in block traces.
+/// `len` must be non-zero for the request to touch any page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in nanoseconds since trace start.
+    pub time_ns: u64,
+    /// Read or write.
+    pub op: OpType,
+    /// Starting byte offset on the logical device.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Request {
+    /// Construct a request. Panics in debug builds if `len == 0`.
+    #[inline]
+    pub fn new(time_ns: u64, op: OpType, offset: u64, len: u64) -> Self {
+        debug_assert!(len > 0, "zero-length request");
+        Self { time_ns, op, offset, len }
+    }
+
+    /// Convenience constructor for a write covering whole pages.
+    #[inline]
+    pub fn write_pages(time_ns: u64, start_lpn: Lpn, pages: u64) -> Self {
+        Self::new(time_ns, OpType::Write, start_lpn * PAGE_SIZE, pages * PAGE_SIZE)
+    }
+
+    /// Convenience constructor for a read covering whole pages.
+    #[inline]
+    pub fn read_pages(time_ns: u64, start_lpn: Lpn, pages: u64) -> Self {
+        Self::new(time_ns, OpType::Read, start_lpn * PAGE_SIZE, pages * PAGE_SIZE)
+    }
+
+    /// First logical page touched by this request.
+    #[inline]
+    pub fn start_lpn(&self) -> Lpn {
+        self.offset / PAGE_SIZE
+    }
+
+    /// Number of logical pages the byte range `[offset, offset+len)` touches.
+    ///
+    /// A request that straddles a page boundary touches both pages, so this
+    /// is not simply `len / PAGE_SIZE`.
+    #[inline]
+    pub fn page_count(&self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.offset / PAGE_SIZE;
+        let last = (self.offset + self.len - 1) / PAGE_SIZE;
+        last - first + 1
+    }
+
+    /// Iterator over every logical page number this request touches, in
+    /// ascending order (the order Algorithm 1 of the paper walks them).
+    #[inline]
+    pub fn lpns(&self) -> impl Iterator<Item = Lpn> + '_ {
+        let start = self.start_lpn();
+        (0..self.page_count()).map(move |i| start + i)
+    }
+
+    /// `true` if this is a write request.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.op.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_count_aligned() {
+        let r = Request::new(0, OpType::Write, 0, PAGE_SIZE * 3);
+        assert_eq!(r.page_count(), 3);
+        assert_eq!(r.start_lpn(), 0);
+    }
+
+    #[test]
+    fn page_count_sub_page() {
+        let r = Request::new(0, OpType::Read, 512, 100);
+        assert_eq!(r.page_count(), 1);
+        assert_eq!(r.start_lpn(), 0);
+    }
+
+    #[test]
+    fn page_count_straddles_boundary() {
+        // 100 bytes starting 50 bytes before a page boundary -> 2 pages.
+        let r = Request::new(0, OpType::Write, PAGE_SIZE - 50, 100);
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.start_lpn(), 0);
+        let pages: Vec<Lpn> = r.lpns().collect();
+        assert_eq!(pages, vec![0, 1]);
+    }
+
+    #[test]
+    fn page_count_exact_boundary_end() {
+        // Ends exactly on a boundary: does not touch the next page.
+        let r = Request::new(0, OpType::Write, PAGE_SIZE, PAGE_SIZE);
+        assert_eq!(r.page_count(), 1);
+        assert_eq!(r.start_lpn(), 1);
+    }
+
+    #[test]
+    fn lpns_enumerates_ascending() {
+        let r = Request::write_pages(0, 10, 4);
+        let pages: Vec<Lpn> = r.lpns().collect();
+        assert_eq!(pages, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn zero_len_touches_nothing() {
+        let r = Request { time_ns: 0, op: OpType::Read, offset: 4096, len: 0 };
+        assert_eq!(r.page_count(), 0);
+        assert_eq!(r.lpns().count(), 0);
+    }
+
+    #[test]
+    fn helpers_match_optype() {
+        assert!(Request::write_pages(0, 0, 1).is_write());
+        assert!(!Request::read_pages(0, 0, 1).is_write());
+        assert!(OpType::Write.is_write());
+        assert!(!OpType::Read.is_write());
+    }
+}

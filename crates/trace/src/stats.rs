@@ -1,0 +1,228 @@
+//! Trace statistics reproducing the columns of Table 2.
+//!
+//! Table 2 of the paper characterizes each trace by request count, write
+//! ratio, mean write size, and "Frequent R (Wr)". The paper defines
+//! *Frequent R* as "the ratio of addresses requested not less than 3 [times]"
+//! and *(Wr)* as "the percent of write addresses in which". We compute both
+//! at 4 KB page granularity:
+//!
+//! * `frequent_ratio` — among all distinct pages touched by any request, the
+//!   fraction accessed at least [`FREQUENT_THRESHOLD`] times;
+//! * `frequent_write_ratio` — among distinct pages touched by writes, the
+//!   fraction *written* at least [`FREQUENT_THRESHOLD`] times.
+//!
+//! These are the statistics the synthetic generators are calibrated against;
+//! `repro table2` prints the measured values side by side with the paper's.
+
+use crate::request::{Lpn, Request, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// An address counts as "frequent" when accessed at least this many times
+/// (the paper's "not less than 3").
+pub const FREQUENT_THRESHOLD: u32 = 3;
+
+/// Aggregate statistics of a request stream (the Table 2 columns plus a few
+/// extras useful for calibration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total request count ("Req #").
+    pub requests: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Fraction of requests that are writes ("Wr Ratio").
+    pub write_ratio: f64,
+    /// Mean write size in KB ("Wr Size").
+    pub mean_write_kb: f64,
+    /// Mean write size in pages.
+    pub mean_write_pages: f64,
+    /// Mean read size in pages (not in Table 2; used for calibration).
+    pub mean_read_pages: f64,
+    /// Fraction of distinct pages accessed >= 3 times ("Frequent R").
+    pub frequent_ratio: f64,
+    /// Fraction of distinct written pages written >= 3 times ("(Wr)").
+    pub frequent_write_ratio: f64,
+    /// Number of distinct pages touched (footprint).
+    pub distinct_pages: u64,
+    /// Total page accesses (reads + writes, page granularity).
+    pub total_page_accesses: u64,
+    /// Total pages written.
+    pub total_pages_written: u64,
+}
+
+/// Per-page access counters used while accumulating stats.
+#[derive(Default, Clone, Copy)]
+struct PageCounts {
+    all: u32,
+    writes: u32,
+}
+
+/// Streaming statistics accumulator; feed requests with [`StatsBuilder::add`]
+/// and finish with [`StatsBuilder::finish`].
+#[derive(Default)]
+pub struct StatsBuilder {
+    requests: u64,
+    writes: u64,
+    write_pages_sum: u64,
+    read_pages_sum: u64,
+    page_counts: HashMap<Lpn, PageCounts>,
+    total_page_accesses: u64,
+    total_pages_written: u64,
+}
+
+impl StatsBuilder {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one request.
+    pub fn add(&mut self, r: &Request) {
+        self.requests += 1;
+        let pages = r.page_count();
+        if r.is_write() {
+            self.writes += 1;
+            self.write_pages_sum += pages;
+            self.total_pages_written += pages;
+        } else {
+            self.read_pages_sum += pages;
+        }
+        self.total_page_accesses += pages;
+        for lpn in r.lpns() {
+            let c = self.page_counts.entry(lpn).or_default();
+            c.all = c.all.saturating_add(1);
+            if r.is_write() {
+                c.writes = c.writes.saturating_add(1);
+            }
+        }
+    }
+
+    /// Finalize into [`TraceStats`].
+    pub fn finish(self) -> TraceStats {
+        let reads = self.requests - self.writes;
+        let distinct = self.page_counts.len() as u64;
+        let mut frequent = 0u64;
+        let mut written_pages = 0u64;
+        let mut frequent_written = 0u64;
+        for c in self.page_counts.values() {
+            if c.all >= FREQUENT_THRESHOLD {
+                frequent += 1;
+            }
+            if c.writes > 0 {
+                written_pages += 1;
+                if c.writes >= FREQUENT_THRESHOLD {
+                    frequent_written += 1;
+                }
+            }
+        }
+        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let mean_write_pages = ratio(self.write_pages_sum, self.writes);
+        TraceStats {
+            requests: self.requests,
+            writes: self.writes,
+            write_ratio: ratio(self.writes, self.requests),
+            mean_write_kb: mean_write_pages * (PAGE_SIZE as f64 / 1024.0),
+            mean_write_pages,
+            mean_read_pages: ratio(self.read_pages_sum, reads),
+            frequent_ratio: ratio(frequent, distinct),
+            frequent_write_ratio: ratio(frequent_written, written_pages),
+            distinct_pages: distinct,
+            total_page_accesses: self.total_page_accesses,
+            total_pages_written: self.total_pages_written,
+        }
+    }
+}
+
+/// Compute [`TraceStats`] over an iterator of requests.
+pub fn compute<'a, I: IntoIterator<Item = &'a Request>>(reqs: I) -> TraceStats {
+    let mut b = StatsBuilder::new();
+    for r in reqs {
+        b.add(r);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OpType;
+
+    fn w(lpn: Lpn, pages: u64) -> Request {
+        Request::write_pages(0, lpn, pages)
+    }
+
+    fn r(lpn: Lpn, pages: u64) -> Request {
+        Request::read_pages(0, lpn, pages)
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let s = compute([]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.write_ratio, 0.0);
+        assert_eq!(s.frequent_ratio, 0.0);
+    }
+
+    #[test]
+    fn counts_and_write_ratio() {
+        let reqs = vec![w(0, 1), w(1, 2), r(0, 1), r(5, 1)];
+        let s = compute(&reqs);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.writes, 2);
+        assert!((s.write_ratio - 0.5).abs() < 1e-12);
+        assert!((s.mean_write_pages - 1.5).abs() < 1e-12);
+        assert!((s.mean_write_kb - 6.0).abs() < 1e-12);
+        assert!((s.mean_read_pages - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_ratio_threshold() {
+        // Page 0 accessed 3x (frequent), page 1 accessed 2x, page 2 once.
+        let reqs = vec![w(0, 1), r(0, 1), w(0, 1), w(1, 1), r(1, 1), r(2, 1)];
+        let s = compute(&reqs);
+        assert_eq!(s.distinct_pages, 3);
+        assert!((s.frequent_ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_write_ratio_counts_only_writes() {
+        // Page 0: 3 writes -> frequent-written. Page 1: 1 write + 5 reads ->
+        // written but not frequently written. Page 2: reads only -> excluded
+        // from the write denominator entirely.
+        let mut reqs = vec![w(0, 1), w(0, 1), w(0, 1), w(1, 1)];
+        for _ in 0..5 {
+            reqs.push(r(1, 1));
+        }
+        reqs.push(r(2, 1));
+        let s = compute(&reqs);
+        assert!((s.frequent_write_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_page_requests_count_each_page() {
+        let reqs = vec![w(0, 3), w(0, 3), w(0, 3)];
+        let s = compute(&reqs);
+        assert_eq!(s.distinct_pages, 3);
+        assert_eq!(s.total_pages_written, 9);
+        assert!((s.frequent_ratio - 1.0).abs() < 1e-12);
+        assert!((s.frequent_write_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_page_requests_normalize_to_pages() {
+        let reqs =
+            vec![Request::new(0, OpType::Write, 100, 200), Request::new(0, OpType::Write, 50, 10)];
+        let s = compute(&reqs);
+        assert_eq!(s.distinct_pages, 1);
+        assert!((s.mean_write_pages - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_streaming_matches_batch() {
+        let reqs = vec![w(0, 2), r(1, 4), w(3, 1)];
+        let mut b = StatsBuilder::new();
+        for q in &reqs {
+            b.add(q);
+        }
+        assert_eq!(b.finish(), compute(&reqs));
+    }
+}

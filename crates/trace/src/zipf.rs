@@ -1,0 +1,136 @@
+//! Zipf-distributed sampling over a finite universe.
+//!
+//! The synthetic workload generators use a Zipf law to shape how often small
+//! writes revisit hot addresses: rank-1 items are revisited very frequently
+//! while the tail is touched once or twice, which is exactly the structure
+//! the paper's Figure 2/3 analysis measures on the MSR traces.
+//!
+//! The sampler precomputes the cumulative distribution once (`O(n)` memory,
+//! `O(n)` setup) and then draws samples with a binary search (`O(log n)`),
+//! which is both simple and fast enough for the tens of millions of draws a
+//! full trace generation performs.
+
+use rand::Rng;
+
+/// Sampler for `Zipf(n, s)`: item `k` (0-based rank) has probability
+/// proportional to `1 / (k + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf universe must be non-empty");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against rounding leaving the last bucket slightly below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the universe.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..universe()`; rank 0 is the hottest.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len());
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = Zipf::new(1000, 0.99);
+        let mut prev = 0.0;
+        for k in 0..z.universe() {
+            let c = prev + z.pmf(k);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn samples_stay_in_universe() {
+        let z = Zipf::new(17, 0.8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn empirical_skew_matches_pmf() {
+        let n = 50;
+        let z = Zipf::new(n, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let emp0 = counts[0] as f64 / draws as f64;
+        assert!((emp0 - z.pmf(0)).abs() < 0.01, "emp {emp0} vs pmf {}", z.pmf(0));
+        // Heavy head: top rank should dominate the 25th rank clearly.
+        assert!(counts[0] > counts[24] * 5);
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let n = 10;
+        let z = Zipf::new(n, 0.0);
+        for k in 0..n {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_universe_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}
