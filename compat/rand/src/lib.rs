@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The workspace builds in environments with no access to crates.io, so the
+//! small slice of `rand` 0.8 it actually uses is implemented here:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, non-cryptographic generator
+//!   (xoshiro256++, the same family rand 0.8 uses on 64-bit targets).
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 state expansion.
+//! * [`Rng::gen`] / [`Rng::gen_range`] / [`Rng::gen_bool`] for the types the
+//!   workspace samples (`f64`, `bool`, and the integer ranges).
+//!
+//! The streams are **not** bit-identical to crates.io `rand`: every
+//! committed golden number in this repository was produced with this
+//! implementation. Determinism is what matters — the same seed always
+//! yields the same stream.
+
+/// Low-level generator interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable generators (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed (SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type (`f64` in [0, 1),
+    /// `bool` fair coin, integers uniform over their full range).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types sampleable by [`Rng::gen`] from 64 random bits.
+pub trait Standard {
+    /// Map 64 uniform bits to a sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn sample(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer sampling over a span of `n` values starting at `low`,
+/// via 128-bit widening multiply with rejection (Lemire's method) — unbiased
+/// and branch-light.
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo >= span {
+            return (m >> 64) as u64;
+        }
+        // Rejection zone: accept unless lo < 2^64 mod span.
+        let threshold = span.wrapping_neg() % span;
+        if lo >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + sample_span(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + sample_span(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64 as u64).wrapping_sub(self.start as i64 as u64);
+                self.start.wrapping_add(sample_span(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span =
+                    (end as i64 as u64).wrapping_sub(start as i64 as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(sample_span(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = f64::sample(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small/fast generator family `rand 0.8` uses for
+    /// its `SmallRng` on 64-bit platforms. Not cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step: expands a 64-bit seed into full generator state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs from any seed, but keep the guard.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 should appear");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(5u64..=8);
+            assert!((5..=8).contains(&x));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(3u32..=3), 3);
+    }
+
+    #[test]
+    fn float_range_sampling() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_600..5_400).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

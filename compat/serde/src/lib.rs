@@ -1,0 +1,50 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace annotates its config/metrics types with
+//! `#[derive(Serialize, Deserialize)]` for downstream users, but no code in
+//! the offline dependency set ever serializes (there is no `serde_json` or
+//! other serializer here). This stub keeps those annotations compiling
+//! without network access to crates.io: [`Serialize`] and [`Deserialize`]
+//! are empty marker traits and the derives emit empty impls.
+//!
+//! If a future change needs real serialization, replace this path
+//! dependency with crates.io `serde` — the annotations are already correct.
+
+// Let the derive-emitted `::serde::` paths resolve inside this crate's own
+// tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u64,
+        b: Vec<String>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    #[allow(dead_code)]
+    enum Choice {
+        One,
+        Two(u8),
+        Three { x: i32 },
+    }
+
+    fn assert_impls<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_impls::<Plain>();
+        assert_impls::<Choice>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Stub `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The in-repo `serde` stub defines `Serialize` and `Deserialize` as empty
+//! marker traits (nothing in the workspace performs real serialization —
+//! there is no serializer crate in the offline dependency set), so the
+//! derives only need to emit empty impls. Implemented directly on
+//! `proc_macro` token streams: `syn`/`quote` are not available offline.
+//!
+//! Supported shapes: plain (non-generic) `struct`s and `enum`s, which is
+//! every type the workspace derives on. Generic types are rejected with a
+//! compile error rather than silently producing a broken impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum` keyword, skipping
+/// attributes, doc comments, visibility, and modifiers.
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            // Reject generic types: the next token would be `<`.
+                            if let Some(TokenTree::Punct(p)) = iter.peek() {
+                                if p.as_char() == '<' {
+                                    return Err(format!(
+                                        "stub serde derive does not support generic type `{name}`"
+                                    ));
+                                }
+                            }
+                            return Ok(name.to_string());
+                        }
+                        _ => return Err("expected a type name after struct/enum".into()),
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum found in derive input".into())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => make_impl(&name).parse().expect("stub derive emitted invalid tokens"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Stub `Serialize` derive: an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| format!("impl ::serde::Serialize for {name} {{}}"))
+}
+
+/// Stub `Deserialize` derive: an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -1,0 +1,117 @@
+//! Dependency-free hot-path benchmark: requests/sec for full-device replay.
+//!
+//! criterion needs crates.io, which the build environment cannot reach, so
+//! this binary measures the end-to-end hot path with nothing but
+//! `std::time::Instant`: it replays a scaled `ts_0` synthetic trace through
+//! the Req-block policy and LRU on the paper's 16 MB device, repeats each
+//! replay a few times, and reports the best requests/sec as JSON.
+//!
+//! ```text
+//! cargo run --release -p reqblock-bench --bin hotpath -- \
+//!     [--scale 0.25] [--repeats 3] [--out hotpath.json]
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `scripts/bench.sh` wraps this
+//! and diffs the numbers against the committed `BENCH_hotpath.json`.
+
+use reqblock_core::ReqBlockConfig;
+use reqblock_sim::{run_source, CacheSizeMb, PolicyKind, SimConfig, TraceSource};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct PolicyResult {
+    name: &'static str,
+    requests_per_sec: f64,
+    best_elapsed_ms: f64,
+    hit_ratio: f64,
+}
+
+fn measure(policy: PolicyKind, source: &TraceSource, requests: u64, repeats: u32) -> PolicyResult {
+    let cfg = SimConfig::paper(CacheSizeMb::Mb16, policy);
+    // Warm-up replay: page in code and the trace generator's tables.
+    let warm = run_source(&cfg, source);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let res = run_source(&cfg, source);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            res.metrics, warm.metrics,
+            "replay must be deterministic across repeats"
+        );
+        best = best.min(elapsed);
+    }
+    PolicyResult {
+        name: match policy {
+            PolicyKind::ReqBlock(_) => "Req-block",
+            _ => "LRU",
+        },
+        requests_per_sec: requests as f64 / best,
+        best_elapsed_ms: best * 1e3,
+        hit_ratio: warm.metrics.hit_ratio(),
+    }
+}
+
+fn main() {
+    let mut scale = 0.25f64;
+    let mut repeats = 3u32;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("--scale must be a number"),
+            "--repeats" => repeats = value("--repeats").parse().expect("--repeats must be an int"),
+            "--out" => out = Some(value("--out")),
+            other => panic!("unknown argument {other:?} (expected --scale/--repeats/--out)"),
+        }
+    }
+
+    let profile = reqblock_trace::profiles::ts_0().scaled(scale);
+    let requests = profile.requests;
+    let source = TraceSource::Synthetic(profile);
+    eprintln!("hotpath: ts_0 x{scale} = {requests} requests, {repeats} repeats per policy");
+
+    let results = [
+        measure(
+            PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+            &source,
+            requests,
+            repeats,
+        ),
+        measure(PolicyKind::Lru, &source, requests, repeats),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(json, "  \"trace\": \"ts_0\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    json.push_str("  \"policies\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"requests_per_sec\": {:.1}, \"best_elapsed_ms\": {:.2}, \"hit_ratio\": {:.6}}}{}",
+            r.name,
+            r.requests_per_sec,
+            r.best_elapsed_ms,
+            r.hit_ratio,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+        eprintln!(
+            "hotpath: {:<9} {:>12.0} req/s  (best {:.1} ms, hit ratio {:.4})",
+            r.name, r.requests_per_sec, r.best_elapsed_ms, r.hit_ratio
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    match out {
+        Some(path) => std::fs::write(&path, json).expect("cannot write bench output"),
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,243 @@
+//! Generational slab arena for per-block cache state.
+//!
+//! The Req-block policy keeps one record per live request block. Storing
+//! them in a `HashMap<u64, Block>` costs a hash and a probe on every
+//! access; this arena stores them in a plain `Vec` indexed by slot, with a
+//! free list for reuse, so every access is one bounds-checked array index.
+//!
+//! Ids are **generational**: a slot's generation is bumped when it is
+//! freed, and an [`ArenaId`] only resolves while its generation matches.
+//! This preserves the semantics the policy relied on when ids were
+//! never-reused `u64`s — a stale id (e.g. the `origin` back-reference of a
+//! split block whose original has since been evicted) looks up as absent
+//! rather than aliasing whatever block reused the slot.
+
+/// Handle to an arena entry: slot index plus the generation it was
+/// allocated under. 8 bytes, `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaId {
+    slot: u32,
+    gen: u32,
+}
+
+impl ArenaId {
+    /// Slot index (stable while the entry is live; reused afterwards).
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// Generation the id was allocated under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+impl std::fmt::Display for ArenaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}v{}", self.slot, self.gen)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    /// Bumped every time the slot is freed, so outstanding ids go stale.
+    gen: u32,
+    value: Option<T>,
+}
+
+/// Slab arena with generational ids and free-list slot reuse.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Empty arena with room for `capacity` entries before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { slots: Vec::with_capacity(capacity), free: Vec::new(), len: 0 }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> ArenaId {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none());
+            s.value = Some(value);
+            ArenaId { slot, gen: s.gen }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+            self.slots.push(Slot { gen: 0, value: Some(value) });
+            ArenaId { slot, gen: 0 }
+        }
+    }
+
+    /// Shared access; `None` if the id is stale or never existed.
+    #[inline]
+    pub fn get(&self, id: ArenaId) -> Option<&T> {
+        match self.slots.get(id.slot as usize) {
+            Some(s) if s.gen == id.gen => s.value.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access; `None` if the id is stale or never existed.
+    #[inline]
+    pub fn get_mut(&mut self, id: ArenaId) -> Option<&mut T> {
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen => s.value.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// `true` if `id` refers to a live entry.
+    #[inline]
+    pub fn contains(&self, id: ArenaId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the entry behind `id`.
+    ///
+    /// # Panics
+    /// Panics if the id is stale — removal through a dangling handle is
+    /// always a logic error in the caller.
+    pub fn remove(&mut self, id: ArenaId) -> T {
+        let s = &mut self.slots[id.slot as usize];
+        assert!(s.gen == id.gen && s.value.is_some(), "removing stale arena id {id}");
+        let value = s.value.take().expect("checked above");
+        // Bump the generation on free so every outstanding id to this slot
+        // goes stale before the slot is handed out again.
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterate over live `(id, &value)` pairs in slot order. O(slots), for
+    /// consistency checks and draining — not the hot path.
+    pub fn iter(&self) -> impl Iterator<Item = (ArenaId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value
+                .as_ref()
+                .map(|v| (ArenaId { slot: i as u32, gen: s.gen }, v))
+        })
+    }
+}
+
+impl<T> std::ops::Index<ArenaId> for Arena<T> {
+    type Output = T;
+
+    /// # Panics
+    /// Panics if the id is stale or never existed.
+    #[inline]
+    fn index(&self, id: ArenaId) -> &T {
+        self.get(id).expect("indexing stale arena id")
+    }
+}
+
+impl<T> std::ops::IndexMut<ArenaId> for Arena<T> {
+    /// # Panics
+    /// Panics if the id is stale or never existed.
+    #[inline]
+    fn index_mut(&mut self, id: ArenaId) -> &mut T {
+        self.get_mut(id).expect("indexing stale arena id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[x], "x");
+        assert_eq!(a[y], "y");
+        assert_eq!(a.remove(x), "x");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(x), None);
+        assert_eq!(a[y], "y");
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias_reused_slots() {
+        let mut a = Arena::new();
+        let x = a.insert(1);
+        a.remove(x);
+        let y = a.insert(2);
+        // The slot is reused but the generation differs.
+        assert_eq!(y.slot(), x.slot());
+        assert_ne!(y.generation(), x.generation());
+        assert_eq!(a.get(x), None, "stale id must not see the new tenant");
+        assert_eq!(a[y], 2);
+        assert!(!a.contains(x));
+        assert!(a.contains(y));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena id")]
+    fn removing_stale_id_panics() {
+        let mut a = Arena::new();
+        let x = a.insert(1);
+        a.remove(x);
+        a.remove(x);
+    }
+
+    #[test]
+    fn iter_visits_only_live_entries() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.insert(i)).collect();
+        a.remove(ids[1]);
+        a.remove(ids[3]);
+        let live: Vec<i32> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(live, vec![0, 2, 4]);
+        for (id, &v) in a.iter() {
+            assert_eq!(a[id], v);
+        }
+    }
+
+    #[test]
+    fn free_slots_are_reused_before_growing() {
+        let mut a = Arena::with_capacity(4);
+        let ids: Vec<_> = (0..4).map(|i| a.insert(i)).collect();
+        for &id in &ids {
+            a.remove(id);
+        }
+        assert!(a.is_empty());
+        for i in 0..4 {
+            let id = a.insert(i);
+            assert!(id.slot() < 4, "must reuse freed slots, got {}", id.slot());
+        }
+        assert_eq!(a.len(), 4);
+    }
+}

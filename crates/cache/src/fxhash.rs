@@ -1,0 +1,141 @@
+//! A shared fast, non-cryptographic hasher for the simulator's hot maps.
+//!
+//! Every per-page cache operation goes through at least one `HashMap`
+//! keyed by a small integer (an LPN, a flash-block id, a request id).
+//! `std`'s default SipHash-1-3 is DoS-resistant but costs tens of
+//! nanoseconds per lookup, which the simulator — whose keys are not
+//! attacker-controlled — does not need. This module provides the
+//! Firefox/rustc "Fx" hash: one rotate, one xor, and one multiply per
+//! 8-byte word, in-repo because the build environment has no crates.io
+//! access.
+//!
+//! Use [`FxHashMap`]/[`FxHashSet`] anywhere the key space is internal
+//! simulator state.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the Fx hash (a 64-bit truncation of π's digits, as
+/// used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// rustc's `FxHasher`: `hash = (hash.rotate_left(5) ^ word) * SEED` per
+/// 8-byte word. Not DoS-resistant; do not expose to untrusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_ne_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so `Default` works
+/// everywhere `HashMap::default()` is wanted).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// An `FxHashMap` with pre-allocated capacity (the alias cannot offer
+/// `with_capacity`, which assumes `RandomState`).
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_hash_identically() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, u32> = fx_map_with_capacity(16);
+        for i in 0..1_000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 2) as u32)));
+        }
+        assert_eq!(m.remove(&500), Some(1_000));
+        assert!(!m.contains_key(&500));
+    }
+
+    #[test]
+    fn long_and_partial_writes_differ() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        assert_ne!(b.hash_one([1u8, 2, 3]), b.hash_one([1u8, 2, 3, 4]));
+        assert_ne!(
+            b.hash_one([1u8; 16]),
+            b.hash_one([2u8; 16]),
+            "multi-word inputs must mix"
+        );
+    }
+}

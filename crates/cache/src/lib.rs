@@ -30,10 +30,14 @@
 //! flush should be placed on flash ([`Placement`]); the simulator performs
 //! the actual flash traffic and timing.
 
+pub mod arena;
+pub mod fxhash;
 pub mod list;
 pub mod overhead;
 pub mod policies;
 pub mod policy;
 
+pub use arena::{Arena, ArenaId};
+pub use fxhash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use list::{Handle, SlabList};
 pub use policy::{Access, EvictionBatch, Placement, WriteBuffer};

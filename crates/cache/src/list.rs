@@ -21,6 +21,15 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Handle(u32);
 
+impl Default for Handle {
+    /// A dangling placeholder handle that matches no live node. Useful when
+    /// a record must be constructed before its list node exists; using it
+    /// against a list panics.
+    fn default() -> Self {
+        Handle(NIL)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node<T> {
     prev: u32,

@@ -25,7 +25,7 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// BPLRU tuning knobs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,7 +61,7 @@ pub struct BplruCache {
     pages_per_block: u64,
     cfg: BplruConfig,
     list: SlabList<BlockNode>,
-    map: HashMap<u64, Handle>,
+    map: FxHashMap<u64, Handle>,
     len_pages: usize,
 }
 
@@ -76,7 +76,7 @@ impl BplruCache {
             pages_per_block: pages_per_block as u64,
             cfg,
             list: SlabList::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             len_pages: 0,
         }
     }

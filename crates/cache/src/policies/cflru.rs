@@ -16,7 +16,7 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::PAGE_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
 /// CFLRU tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +47,7 @@ pub struct CflruCache {
     window: usize,
     cache_reads: bool,
     list: SlabList<PageMeta>,
-    map: HashMap<Lpn, Handle>,
+    map: FxHashMap<Lpn, Handle>,
 }
 
 impl CflruCache {
@@ -64,7 +64,7 @@ impl CflruCache {
             window,
             cache_reads: cfg.cache_reads,
             list: SlabList::with_capacity(capacity_pages),
-            map: HashMap::with_capacity(capacity_pages * 2),
+            map: fx_map_with_capacity(capacity_pages * 2),
         }
     }
 

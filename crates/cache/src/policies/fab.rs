@@ -11,7 +11,8 @@
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::{BTreeSet, HashMap};
+use crate::fxhash::FxHashMap;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
 struct Group {
@@ -31,7 +32,7 @@ impl Group {
 pub struct FabCache {
     capacity: usize,
     pages_per_block: u64,
-    groups: HashMap<u64, Group>,
+    groups: FxHashMap<u64, Group>,
     /// (page_count, last_touch_seq, block): the victim is the largest group;
     /// among equals, the smallest seq (least recently touched).
     order: BTreeSet<(u32, u64, u64)>,
@@ -48,7 +49,7 @@ impl FabCache {
         Self {
             capacity: capacity_pages,
             pages_per_block: pages_per_block as u64,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             order: BTreeSet::new(),
             len_pages: 0,
             next_seq: 0,

@@ -8,7 +8,8 @@
 use crate::overhead::LFU_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::{BTreeSet, HashMap};
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -20,7 +21,7 @@ struct Entry {
 /// Page-level LFU write buffer.
 pub struct LfuCache {
     capacity: usize,
-    entries: HashMap<Lpn, Entry>,
+    entries: FxHashMap<Lpn, Entry>,
     /// Ordered victims: (freq, seq, lpn). `first()` is the coldest page.
     order: BTreeSet<(u32, u64, Lpn)>,
     next_seq: u64,
@@ -32,7 +33,7 @@ impl LfuCache {
         assert!(capacity_pages > 0, "cache capacity must be positive");
         Self {
             capacity: capacity_pages,
-            entries: HashMap::with_capacity(capacity_pages * 2),
+            entries: fx_map_with_capacity(capacity_pages * 2),
             order: BTreeSet::new(),
             next_seq: 0,
         }

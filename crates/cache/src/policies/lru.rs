@@ -8,13 +8,13 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::PAGE_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
 /// Page-level LRU write buffer.
 pub struct LruCache {
     capacity: usize,
     list: SlabList<Lpn>,
-    map: HashMap<Lpn, Handle>,
+    map: FxHashMap<Lpn, Handle>,
 }
 
 impl LruCache {
@@ -24,7 +24,7 @@ impl LruCache {
         Self {
             capacity: capacity_pages,
             list: SlabList::with_capacity(capacity_pages),
-            map: HashMap::with_capacity(capacity_pages * 2),
+            map: fx_map_with_capacity(capacity_pages * 2),
         }
     }
 

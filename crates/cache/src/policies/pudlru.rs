@@ -24,7 +24,7 @@
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 #[derive(Debug, Clone)]
 struct BlockState {
@@ -41,7 +41,7 @@ struct BlockState {
 pub struct PudLruCache {
     capacity: usize,
     pages_per_block: u64,
-    blocks: HashMap<u64, BlockState>,
+    blocks: FxHashMap<u64, BlockState>,
     len_pages: usize,
     /// Logical clock of the most recent access (eviction-time `now`).
     now: u64,
@@ -56,7 +56,7 @@ impl PudLruCache {
         Self {
             capacity: capacity_pages,
             pages_per_block: pages_per_block as u64,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             len_pages: 0,
             now: 0,
         }

@@ -18,7 +18,7 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// VBBMS tuning knobs (defaults follow the paper's §4.1 description).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,14 +58,14 @@ struct Region {
     /// LRU regions refresh on hit; FIFO regions do not.
     lru: bool,
     list: SlabList<Vb>,
-    map: HashMap<u64, Handle>,
+    map: FxHashMap<u64, Handle>,
     len_pages: usize,
 }
 
 impl Region {
     fn new(vb_pages: u64, cap_pages: usize, lru: bool) -> Self {
         assert!((1..=8).contains(&vb_pages), "VB size must be 1..=8 pages");
-        Self { vb_pages, cap_pages, lru, list: SlabList::new(), map: HashMap::new(), len_pages: 0 }
+        Self { vb_pages, cap_pages, lru, list: SlabList::new(), map: FxHashMap::default(), len_pages: 0 }
     }
 
     fn vb_of(&self, lpn: Lpn) -> (u64, u8) {

@@ -14,8 +14,8 @@ use reqblock_cache::policies::{
     BplruCache, BplruConfig, CflruCache, CflruConfig, FabCache, FifoCache, LfuCache, LruCache,
     PudLruCache, VbbmsCache, VbbmsConfig,
 };
-use reqblock_cache::{Access, EvictionBatch, SlabList, WriteBuffer};
-use std::collections::{HashSet, VecDeque};
+use reqblock_cache::{Access, Arena, ArenaId, EvictionBatch, FxHashMap, SlabList, WriteBuffer};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One step of a generated workload: (is_write, start lpn, pages).
 type Step = (bool, u64, u64);
@@ -121,8 +121,154 @@ fn drive(buf: &mut dyn WriteBuffer, steps: &[Step]) -> Result<(), TestCaseError>
     Ok(())
 }
 
+/// The indexed-removal structure mirroring reqblock-core's hot path: an
+/// [`Arena`] of per-block page vectors plus an `lpn -> (block, slot)` index
+/// kept exact by swap-remove slot fixup. Every operation is O(1).
+#[derive(Default)]
+struct IndexedBlocks {
+    blocks: Arena<Vec<u64>>,
+    index: FxHashMap<u64, (ArenaId, u32)>,
+}
+
+impl IndexedBlocks {
+    fn create_block(&mut self) -> ArenaId {
+        self.blocks.insert(Vec::new())
+    }
+
+    fn add_page(&mut self, bid: ArenaId, lpn: u64) {
+        let pages = &mut self.blocks[bid];
+        pages.push(lpn);
+        self.index.insert(lpn, (bid, (pages.len() - 1) as u32));
+    }
+
+    fn remove_page(&mut self, lpn: u64) -> bool {
+        let Some((bid, pos)) = self.index.remove(&lpn) else {
+            return false;
+        };
+        let pages = &mut self.blocks[bid];
+        pages.swap_remove(pos as usize);
+        // The page that filled the hole changed slot: patch its entry.
+        if let Some(&moved) = pages.get(pos as usize) {
+            self.index.get_mut(&moved).expect("resident page must be indexed").1 = pos;
+        }
+        true
+    }
+
+    fn remove_block(&mut self, bid: ArenaId) -> Vec<u64> {
+        let pages = self.blocks.remove(bid);
+        for lpn in &pages {
+            self.index.remove(lpn);
+        }
+        pages
+    }
+}
+
+/// Naive model: blocks in a `HashMap` under never-reused ids, page lookup
+/// by linear scan over every block's page vector.
+#[derive(Default)]
+struct NaiveBlocks {
+    blocks: HashMap<u64, Vec<u64>>,
+    next_id: u64,
+}
+
+impl NaiveBlocks {
+    fn create_block(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.blocks.insert(id, Vec::new());
+        id
+    }
+
+    fn remove_page(&mut self, lpn: u64) -> bool {
+        for pages in self.blocks.values_mut() {
+            if let Some(pos) = pages.iter().position(|&l| l == lpn) {
+                pages.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena-backed `(block, slot)` page index behaves exactly like a
+    /// naive HashMap-of-blocks with linear-scan page lookup, and stale
+    /// arena ids never resolve after their block is removed.
+    #[test]
+    fn indexed_page_removal_matches_linear_scan_model(
+        ops in proptest::collection::vec((0u8..4, any::<u16>()), 1..400),
+    ) {
+        let mut fast = IndexedBlocks::default();
+        let mut naive = NaiveBlocks::default();
+        // Live blocks, paired across both structures.
+        let mut live: Vec<(ArenaId, u64)> = Vec::new();
+        let mut retired: Vec<ArenaId> = Vec::new();
+        let mut next_lpn = 0u64;
+        for (op, pick) in ops {
+            let pick = pick as usize;
+            match op {
+                // Open a block.
+                0 => {
+                    live.push((fast.create_block(), naive.create_block()));
+                }
+                // Add a fresh page to a random live block.
+                1 if !live.is_empty() => {
+                    let (bid, nid) = live[pick % live.len()];
+                    fast.add_page(bid, next_lpn);
+                    naive.blocks.get_mut(&nid).unwrap().push(next_lpn);
+                    next_lpn += 1;
+                }
+                // Remove a random page (present or not) by lpn.
+                2 if next_lpn > 0 => {
+                    let lpn = (pick as u64 * 31) % next_lpn;
+                    prop_assert_eq!(fast.remove_page(lpn), naive.remove_page(lpn));
+                }
+                // Evict a random live block wholesale.
+                3 if !live.is_empty() => {
+                    let (bid, nid) = live.swap_remove(pick % live.len());
+                    let mut got = fast.remove_block(bid);
+                    let mut expect = naive.blocks.remove(&nid).unwrap();
+                    got.sort_unstable();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect);
+                    retired.push(bid);
+                }
+                _ => {}
+            }
+            // Same shape: block count and per-block content (as sets;
+            // swap_remove vs Vec::remove order differs by design).
+            prop_assert_eq!(fast.blocks.len(), naive.blocks.len());
+            let mut fast_sizes: Vec<usize> =
+                fast.blocks.iter().map(|(_, pages)| pages.len()).collect();
+            let mut naive_sizes: Vec<usize> =
+                naive.blocks.values().map(|pages| pages.len()).collect();
+            fast_sizes.sort_unstable();
+            naive_sizes.sort_unstable();
+            prop_assert_eq!(fast_sizes, naive_sizes);
+            for &(bid, nid) in &live {
+                let mut got = fast.blocks[bid].clone();
+                let mut expect = naive.blocks[&nid].clone();
+                got.sort_unstable();
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect);
+            }
+            // Index exactness: every entry points at its own page.
+            prop_assert_eq!(
+                fast.index.len(),
+                fast.blocks.iter().map(|(_, pages)| pages.len()).sum::<usize>()
+            );
+            for (&lpn, &(bid, pos)) in &fast.index {
+                prop_assert_eq!(fast.blocks[bid][pos as usize], lpn);
+            }
+            // Generational safety: retired ids stay dead even though their
+            // slots may have been handed out again.
+            for &stale in &retired {
+                prop_assert!(fast.blocks.get(stale).is_none());
+            }
+        }
+    }
 
     #[test]
     fn all_policies_maintain_invariants(steps in steps(), capacity in 8usize..96) {

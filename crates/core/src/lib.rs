@@ -68,10 +68,12 @@
 //! ```
 
 use reqblock_cache::overhead::REQ_BLOCK_NODE_BYTES;
-use reqblock_cache::{Access, EvictionBatch, Handle, SlabList, WriteBuffer};
+use reqblock_cache::{
+    fx_map_with_capacity, Access, Arena, ArenaId, EvictionBatch, FxHashMap, Handle, SlabList,
+    WriteBuffer,
+};
 use reqblock_trace::Lpn;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Which of the three lists a block currently lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -165,8 +167,11 @@ pub fn strictly_colder(a: PriorityTerms, b: PriorityTerms, model: PriorityModel)
     (a.access_cnt as u128) * den(b) < (b.access_cnt as u128) * den(a)
 }
 
-/// Stable identifier of a request block (never reused).
-type BlockId = u64;
+/// Stable identifier of a request block. Generational: the arena bumps the
+/// slot generation on free, so a stale id (e.g. a split block's `origin`
+/// whose original was evicted) resolves to "absent" exactly like the
+/// never-reused `u64` ids this replaced.
+type BlockId = ArenaId;
 
 /// One request block: the cached pages of (part of) a write request.
 #[derive(Debug, Clone)]
@@ -191,15 +196,16 @@ struct Block {
 pub struct ReqBlock {
     cfg: ReqBlockConfig,
     capacity: usize,
-    /// Arena of live blocks.
-    blocks: HashMap<BlockId, Block>,
-    next_block_id: BlockId,
+    /// Slab arena of live blocks: every access is one array index, no
+    /// hashing, with freed slots reused through a free list.
+    blocks: Arena<Block>,
     /// The three lists hold block ids; front = most recently adjusted.
     lists: [SlabList<BlockId>; 3],
     /// Pages per list (Figure 13 probe).
     pages_per_level: [usize; 3],
-    /// LPN -> owning block.
-    page_index: HashMap<Lpn, BlockId>,
+    /// LPN -> (owning block, position within its page vector). Tracking the
+    /// position makes page removal an O(1) swap-remove with slot fixup.
+    page_index: FxHashMap<Lpn, (BlockId, u32)>,
 }
 
 impl ReqBlock {
@@ -210,11 +216,10 @@ impl ReqBlock {
         Self {
             cfg,
             capacity: capacity_pages,
-            blocks: HashMap::new(),
-            next_block_id: 0,
+            blocks: Arena::new(),
             lists: [SlabList::new(), SlabList::new(), SlabList::new()],
             pages_per_level: [0; 3],
-            page_index: HashMap::with_capacity(capacity_pages * 2),
+            page_index: fx_map_with_capacity(capacity_pages * 2),
         }
     }
 
@@ -254,31 +259,27 @@ impl ReqBlock {
     ) -> BlockId {
         if let Some(h) = self.lists[level as usize].front() {
             let bid = *self.lists[level as usize].get(h);
-            if self.blocks[&bid].req_id == req_id {
+            if self.blocks[bid].req_id == req_id {
                 return bid;
             }
         }
-        let bid = self.next_block_id;
-        self.next_block_id += 1;
+        let bid = self.blocks.insert(Block {
+            req_id,
+            pages: Vec::new(),
+            access_cnt: 1,
+            insert_time: now,
+            level,
+            handle: Handle::default(),
+            origin,
+        });
         let handle = self.list(level).push_front(bid);
-        self.blocks.insert(
-            bid,
-            Block {
-                req_id,
-                pages: Vec::new(),
-                access_cnt: 1,
-                insert_time: now,
-                level,
-                handle,
-                origin,
-            },
-        );
+        self.blocks[bid].handle = handle;
         bid
     }
 
     /// Move a block to the head of `target`, updating level bookkeeping.
     fn move_block_to_head(&mut self, bid: BlockId, target: Level) {
-        let block = self.blocks.get_mut(&bid).expect("moving unknown block");
+        let block = &mut self.blocks[bid];
         let from = block.level;
         let handle = block.handle;
         let pages = block.pages.len();
@@ -286,47 +287,54 @@ impl ReqBlock {
             self.lists[from as usize].move_to_front(handle);
             return;
         }
+        block.level = target;
         self.lists[from as usize].remove(handle);
         let new_handle = self.lists[target as usize].push_front(bid);
-        let block = self.blocks.get_mut(&bid).expect("block vanished mid-move");
-        block.level = target;
-        block.handle = new_handle;
+        self.blocks[bid].handle = new_handle;
         self.pages_per_level[from as usize] -= pages;
         self.pages_per_level[target as usize] += pages;
     }
 
     /// Detach a block from its list and the arena, returning its pages.
     fn remove_block(&mut self, bid: BlockId) -> Vec<Lpn> {
-        let block = self.blocks.remove(&bid).expect("removing unknown block");
+        let block = self.blocks.remove(bid);
         self.lists[block.level as usize].remove(block.handle);
         self.pages_per_level[block.level as usize] -= block.pages.len();
         for lpn in &block.pages {
             let owner = self.page_index.remove(lpn);
-            debug_assert_eq!(owner, Some(bid));
+            debug_assert_eq!(owner.map(|(b, _)| b), Some(bid));
         }
         block.pages
     }
 
     /// Append one page to `bid` and index it.
     fn add_page(&mut self, bid: BlockId, lpn: Lpn) {
-        let block = self.blocks.get_mut(&bid).expect("adding page to unknown block");
+        let block = &mut self.blocks[bid];
         debug_assert!(!block.pages.contains(&lpn));
+        let pos = block.pages.len() as u32;
         block.pages.push(lpn);
         self.pages_per_level[block.level as usize] += 1;
-        let prev = self.page_index.insert(lpn, bid);
+        let prev = self.page_index.insert(lpn, (bid, pos));
         debug_assert!(prev.is_none(), "page already owned by another block");
     }
 
-    /// Remove one page from `bid`; drops the block if it becomes empty.
-    /// Returns `true` if the block was dropped.
-    fn remove_page_from_block(&mut self, bid: BlockId, lpn: Lpn) -> bool {
-        let block = self.blocks.get_mut(&bid).expect("removing page from unknown block");
-        let pos = block.pages.iter().position(|&p| p == lpn).expect("page not in block");
-        block.pages.swap_remove(pos);
+    /// Remove the page at position `pos` of `bid` (O(1) swap-remove with
+    /// index fixup of the page that takes its place); drops the block if it
+    /// becomes empty. Returns `true` if the block was dropped.
+    fn remove_page_from_block(&mut self, bid: BlockId, pos: u32) -> bool {
+        let block = &mut self.blocks[bid];
+        let lpn = block.pages.swap_remove(pos as usize);
         self.pages_per_level[block.level as usize] -= 1;
         self.page_index.remove(&lpn);
+        if let Some(&moved) = block.pages.get(pos as usize) {
+            // The former last page now sits at `pos`; re-point its index.
+            self.page_index
+                .get_mut(&moved)
+                .expect("moved page must be indexed")
+                .1 = pos;
+        }
         if block.pages.is_empty() {
-            let block = self.blocks.remove(&bid).expect("block vanished");
+            let block = self.blocks.remove(bid);
             self.lists[block.level as usize].remove(block.handle);
             true
         } else {
@@ -335,24 +343,19 @@ impl ReqBlock {
     }
 
     /// The hit path of Algorithm 1 (lines 19-28), shared by reads and
-    /// writes.
-    fn on_hit(&mut self, a: &Access) {
-        let bid = *self.page_index.get(&a.lpn).expect("on_hit without cached page");
-        let (pages_len, level) = {
-            let b = &self.blocks[&bid];
-            (b.pages.len() as u32, b.level)
-        };
+    /// writes. `bid`/`pos` come from the caller's page-index lookup.
+    fn on_hit(&mut self, a: &Access, bid: BlockId, pos: u32) {
+        let block = &mut self.blocks[bid];
+        block.access_cnt += 1;
+        let pages_len = block.pages.len() as u32;
+        let level = block.level;
         if pages_len <= self.cfg.delta {
             // Small request block: upgrade to the SRL head.
-            let b = self.blocks.get_mut(&bid).expect("block vanished");
-            b.access_cnt += 1;
             self.move_block_to_head(bid, Level::Srl);
             return;
         }
         if !self.cfg.split_large_on_hit {
             // Ablation A1: refresh recency within the current list only.
-            let b = self.blocks.get_mut(&bid).expect("block vanished");
-            b.access_cnt += 1;
             self.move_block_to_head(bid, level);
             return;
         }
@@ -364,12 +367,11 @@ impl ReqBlock {
         // which is what makes the Figure 6 merge reachable: a repeatedly
         // split origin ages with a rising count while its fragments cool in
         // DRL.
-        self.blocks.get_mut(&bid).expect("block vanished").access_cnt += 1;
-        self.remove_page_from_block(bid, a.lpn);
+        self.remove_page_from_block(bid, pos);
         let dst = self.head_block_for(Level::Drl, a.req_id, a.now, Some(bid));
-        if !self.blocks[&dst].pages.is_empty() {
+        if !self.blocks[dst].pages.is_empty() {
             // Reused head block: count this additional hit page.
-            self.blocks.get_mut(&dst).expect("dst vanished").access_cnt += 1;
+            self.blocks[dst].access_cnt += 1;
         }
         self.add_page(dst, a.lpn);
     }
@@ -386,7 +388,7 @@ impl ReqBlock {
             victim = match victim {
                 None => Some(bid),
                 Some(cur) => {
-                    if self.colder(&self.blocks[&bid], &self.blocks[&cur], now) {
+                    if self.colder(&self.blocks[bid], &self.blocks[cur], now) {
                         Some(bid)
                     } else {
                         Some(cur)
@@ -395,13 +397,14 @@ impl ReqBlock {
             };
         }
         let bid = victim?;
-        let origin = self.blocks[&bid].origin;
+        let origin = self.blocks[bid].origin;
         let mut pages = self.remove_block(bid);
         if self.cfg.merge_on_evict {
             if let Some(ob) = origin {
                 // Merge with the original block if it still sits in IRL
-                // (it may have been evicted, emptied, or promoted since).
-                if self.blocks.get(&ob).is_some_and(|b| b.level == Level::Irl) {
+                // (it may have been evicted, emptied, or promoted since —
+                // a stale generational id resolves to None here).
+                if self.blocks.get(ob).is_some_and(|b| b.level == Level::Irl) {
                     pages.extend(self.remove_block(ob));
                 }
             }
@@ -422,7 +425,7 @@ impl ReqBlock {
         for (li, list) in self.lists.iter().enumerate() {
             total_list_blocks += list.len();
             for h in list.iter_from_front() {
-                let bid = list.get(h);
+                let bid = *list.get(h);
                 let b = self
                     .blocks
                     .get(bid)
@@ -437,9 +440,14 @@ impl ReqBlock {
                     return Err(format!("empty block {bid} retained"));
                 }
                 counted[li] += b.pages.len();
-                for lpn in &b.pages {
-                    if self.page_index.get(lpn) != Some(bid) {
-                        return Err(format!("page {lpn} index mismatch"));
+                for (pos, lpn) in b.pages.iter().enumerate() {
+                    match self.page_index.get(lpn) {
+                        Some(&(owner, p)) if owner == bid && p as usize == pos => {}
+                        other => {
+                            return Err(format!(
+                                "page {lpn} index mismatch: expected ({bid}, {pos}), got {other:?}"
+                            ))
+                        }
                     }
                 }
             }
@@ -481,8 +489,9 @@ impl WriteBuffer for ReqBlock {
     }
 
     fn write(&mut self, a: &Access, evictions: &mut Vec<EvictionBatch>) -> bool {
-        if self.page_index.contains_key(&a.lpn) {
-            self.on_hit(a);
+        // Single index probe serves both the hit check and the hit path.
+        if let Some(&(bid, pos)) = self.page_index.get(&a.lpn) {
+            self.on_hit(a, bid, pos);
             return true;
         }
         // Miss: make room (Algorithm 1 lines 32-35), then insert into the
@@ -498,8 +507,8 @@ impl WriteBuffer for ReqBlock {
     }
 
     fn read(&mut self, a: &Access, _evictions: &mut Vec<EvictionBatch>) -> bool {
-        if self.page_index.contains_key(&a.lpn) {
-            self.on_hit(a);
+        if let Some(&(bid, pos)) = self.page_index.get(&a.lpn) {
+            self.on_hit(a, bid, pos);
             true
         } else {
             false

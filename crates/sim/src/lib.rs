@@ -32,4 +32,7 @@ pub use config::{CacheSizeMb, PolicyKind, SimConfig};
 pub use histogram::LatencyHistogram;
 pub use machine::Ssd;
 pub use metrics::Metrics;
-pub use runner::{run_jobs, run_trace, run_trace_probed, Job, RunResult, TraceSource};
+pub use runner::{
+    run_jobs, run_source, run_source_probed, run_trace, run_trace_probed, Job, RunResult,
+    TraceSource,
+};

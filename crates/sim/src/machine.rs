@@ -116,8 +116,8 @@ impl Ssd {
                     // striped placement bounds it to about one program
                     // latency, while BPLRU's single-block flushes serialize.
                     done = done.max(at + self.cfg.ssd.dram_access_ns);
-                    for batch in std::mem::take(&mut evictions) {
-                        done = done.max(self.flush_batch(&batch, at));
+                    for batch in &evictions {
+                        done = done.max(self.flush_batch(batch, at));
                     }
                 }
             }
@@ -140,8 +140,8 @@ impl Ssd {
                     }
                     // Read-caching policies (CFLRU ablation) may evict here;
                     // same synchronous stall as the write path.
-                    for batch in std::mem::take(&mut evictions) {
-                        done = done.max(self.flush_batch(&batch, at));
+                    for batch in &evictions {
+                        done = done.max(self.flush_batch(batch, at));
                     }
                 }
             }

@@ -12,7 +12,7 @@
 
 use reqblock_cache::{Access, WriteBuffer};
 use reqblock_trace::Lpn;
-use std::collections::HashMap;
+use reqblock_cache::FxHashMap;
 
 /// Observer of page accesses and request completions.
 pub trait Probe {
@@ -29,11 +29,11 @@ pub trait Probe {
 #[derive(Debug, Default)]
 pub struct SizeCdfProbe {
     /// lpn -> size (pages) of the request that last inserted it.
-    inserted_by: HashMap<Lpn, u32>,
+    inserted_by: FxHashMap<Lpn, u32>,
     /// request size -> pages inserted.
-    pub inserts_by_size: HashMap<u32, u64>,
+    pub inserts_by_size: FxHashMap<u32, u64>,
     /// request size (of the inserting request) -> hits observed.
-    pub hits_by_size: HashMap<u32, u64>,
+    pub hits_by_size: FxHashMap<u32, u64>,
 }
 
 impl SizeCdfProbe {
@@ -44,7 +44,7 @@ impl SizeCdfProbe {
 
     /// CDF points `(size, cumulative_fraction)` for a counter map, sorted by
     /// size ascending.
-    fn cdf(map: &HashMap<u32, u64>) -> Vec<(u32, f64)> {
+    fn cdf(map: &FxHashMap<u32, u64>) -> Vec<(u32, f64)> {
         let total: u64 = map.values().sum();
         if total == 0 {
             return Vec::new();
@@ -118,7 +118,7 @@ impl Probe for SizeCdfProbe {
 pub struct LargeReqHitProbe {
     threshold: u32,
     /// lpn -> was this episode's page hit yet?
-    live: HashMap<Lpn, bool>,
+    live: FxHashMap<Lpn, bool>,
     /// Completed episodes.
     pub episodes: u64,
     /// Completed episodes whose page was hit at least once.
@@ -129,7 +129,7 @@ impl LargeReqHitProbe {
     /// Pages from requests with more than `threshold_pages` pages count as
     /// "large" (the paper uses the trace's mean request size).
     pub fn new(threshold_pages: u32) -> Self {
-        Self { threshold: threshold_pages, live: HashMap::new(), episodes: 0, episodes_hit: 0 }
+        Self { threshold: threshold_pages, live: FxHashMap::default(), episodes: 0, episodes_hit: 0 }
     }
 
     fn finalize(&mut self, hit: bool) {

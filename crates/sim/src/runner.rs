@@ -4,11 +4,12 @@ use crate::config::SimConfig;
 use crate::machine::Ssd;
 use crate::metrics::Metrics;
 use crate::probes::Probe;
-use parking_lot::Mutex;
 use reqblock_flash::OpCounters;
 use reqblock_ftl::FtlStats;
 use reqblock_trace::{Request, SyntheticTrace, WorkloadProfile};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
@@ -94,14 +95,56 @@ pub enum TraceSource {
 impl TraceSource {
     /// Materialize the request stream. Panics on unreadable/invalid trace
     /// files — experiment grids should fail loudly, not silently skip runs.
+    ///
+    /// Replay paths should prefer [`TraceSource::for_each_request`], which
+    /// never builds the full `Vec<Request>`.
     pub fn requests(&self) -> Vec<Request> {
+        let mut out = Vec::new();
+        self.for_each_request(|r| out.push(r));
+        out
+    }
+
+    /// Stream the request stream in order without materializing it:
+    /// synthetic traces generate lazily, MSR files parse line by line
+    /// (two passes; see [`reqblock_trace::msr::stream_file`]). Panics on
+    /// unreadable/invalid trace files, like [`TraceSource::requests`].
+    pub fn for_each_request<F: FnMut(Request)>(&self, mut f: F) {
         match self {
             TraceSource::Synthetic(profile) => {
-                SyntheticTrace::new(profile.clone()).generate_all()
+                for r in SyntheticTrace::new(profile.clone()) {
+                    f(r);
+                }
             }
-            TraceSource::MsrFile(path) => reqblock_trace::msr::parse_file(path)
-                .unwrap_or_else(|e| panic!("cannot load trace {}: {e}", path.display())),
+            TraceSource::MsrFile(path) => {
+                reqblock_trace::msr::stream_file(path, f)
+                    .unwrap_or_else(|e| panic!("cannot load trace {}: {e}", path.display()));
+            }
         }
+    }
+}
+
+/// Replay a [`TraceSource`] through a fresh device without materializing the
+/// request stream.
+pub fn run_source(cfg: &SimConfig, source: &TraceSource) -> RunResult {
+    run_source_probed(cfg, source, &mut [])
+}
+
+/// [`run_source`] plus probe instrumentation.
+pub fn run_source_probed(
+    cfg: &SimConfig,
+    source: &TraceSource,
+    probes: &mut [&mut dyn Probe],
+) -> RunResult {
+    let mut ssd = Ssd::new(cfg.clone());
+    source.for_each_request(|req| {
+        ssd.submit_probed(&req, probes);
+    });
+    RunResult {
+        policy: cfg.policy.name().to_string(),
+        cache_pages: cfg.cache_pages,
+        metrics: ssd.metrics().clone(),
+        flash: *ssd.flash_counters(),
+        ftl: *ssd.ftl_stats(),
     }
 }
 
@@ -125,32 +168,56 @@ impl Job {
     }
 }
 
-/// Run a grid of jobs on up to `threads` worker threads (crossbeam scoped
-/// threads; trace generation happens inside the worker). Results keep job
+/// Run a grid of jobs on up to `threads` worker threads (std scoped threads;
+/// traces stream inside the worker, never materialized). Results keep job
 /// order.
+///
+/// Each worker writes its result into a dedicated per-job slot — no mutex,
+/// no label cloning on the hot path. If any worker panics, the panic is
+/// propagated with the failing job's label so grid failures are debuggable.
 pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<(String, RunResult)> {
     assert!(threads > 0, "need at least one worker");
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(String, RunResult)>>> = Mutex::new(vec![None; jobs.len()]);
+    let slots: Vec<OnceLock<RunResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let failure: OnceLock<(usize, String)> = OnceLock::new();
     let workers = threads.min(jobs.len()).max(1);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= jobs.len() {
                     break;
                 }
                 let job = &jobs[idx];
-                let result = run_trace(&job.cfg, job.source.requests());
-                results.lock()[idx] = Some((job.label.clone(), result));
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_source(&job.cfg, &job.source)
+                })) {
+                    Ok(result) => {
+                        let ok = slots[idx].set(result).is_ok();
+                        debug_assert!(ok, "job index {idx} dispatched twice");
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        let _ = failure.set((idx, msg));
+                        break;
+                    }
+                }
             });
         }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job must produce a result"))
+    });
+    if let Some((idx, msg)) = failure.into_inner() {
+        panic!("worker running job '{}' panicked: {msg}", jobs[idx].label);
+    }
+    jobs.iter()
+        .zip(slots)
+        .map(|(job, slot)| {
+            let result = slot.into_inner().expect("every job must produce a result");
+            (job.label.clone(), result)
+        })
         .collect()
 }
 
@@ -208,6 +275,39 @@ mod tests {
             assert_eq!(&job.label, label);
             assert_eq!(res.policy, job.cfg.policy.name());
         }
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_run() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
+        let source = TraceSource::Synthetic(mini_profile());
+        let streamed = run_source(&cfg, &source);
+        let materialized = run_trace(&cfg, source.requests());
+        assert_eq!(streamed.metrics, materialized.metrics);
+        assert_eq!(streamed.flash, materialized.flash);
+        assert_eq!(streamed.ftl, materialized.ftl);
+    }
+
+    #[test]
+    fn run_jobs_propagates_panic_with_job_label() {
+        let jobs = vec![
+            Job::synthetic(
+                "ok-job",
+                SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru),
+                mini_profile(),
+            ),
+            Job {
+                label: "bad-job".into(),
+                cfg: SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru),
+                source: TraceSource::MsrFile("/nonexistent/reqblock-test-trace.csv".into()),
+            },
+        ];
+        let err = std::panic::catch_unwind(|| run_jobs(&jobs, 2)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("bad-job"), "panic should name the job: {msg}");
     }
 
     #[test]

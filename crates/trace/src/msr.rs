@@ -87,6 +87,26 @@ fn parse_line(line: &str, lineno: usize) -> Result<(u64, OpType, u64, u64), Pars
 ///   from 100 ns ticks to nanoseconds.
 pub fn parse_reader<R: BufRead>(reader: R) -> Result<Vec<Request>, ParseError> {
     let mut raw: Vec<(u64, OpType, u64, u64)> = Vec::new();
+    scan_records(reader, |rec| raw.push(rec))?;
+    let base = raw.iter().map(|r| r.0).min().unwrap_or(0);
+    Ok(raw
+        .into_iter()
+        .map(|(ts, op, offset, size)| Request {
+            time_ns: ts.saturating_sub(base) * NS_PER_TICK,
+            op,
+            offset,
+            len: size,
+        })
+        .collect())
+}
+
+/// Scan every valid record of an MSR trace, invoking `f` once per record in
+/// file order. Shared by the materializing ([`parse_reader`]) and streaming
+/// ([`stream_file`]) entry points so both apply identical filtering.
+fn scan_records<R: BufRead, F>(reader: R, mut f: F) -> Result<(), ParseError>
+where
+    F: FnMut((u64, OpType, u64, u64)),
+{
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line.map_err(|e| ParseError {
@@ -101,18 +121,46 @@ pub fn parse_reader<R: BufRead>(reader: R) -> Result<Vec<Request>, ParseError> {
         if rec.3 == 0 {
             continue;
         }
-        raw.push(rec);
+        f(rec);
     }
-    let base = raw.iter().map(|r| r.0).min().unwrap_or(0);
-    Ok(raw
-        .into_iter()
-        .map(|(ts, op, offset, size)| Request {
+    Ok(())
+}
+
+/// Stream an MSR-format trace file record by record without materializing a
+/// `Vec<Request>`. Semantics are identical to [`parse_file`] — the same
+/// filtering and the same rebase-to-earliest-timestamp — implemented as two
+/// passes over the file (pass one finds the earliest timestamp, pass two
+/// emits rebased requests), so memory stays O(1) in the trace length.
+///
+/// Returns the number of requests emitted.
+pub fn stream_file<F>(path: &std::path::Path, mut f: F) -> Result<u64, ParseError>
+where
+    F: FnMut(Request),
+{
+    let open = || {
+        std::fs::File::open(path)
+            .map(std::io::BufReader::new)
+            .map_err(|e| ParseError {
+                line: 0,
+                message: format!("cannot open {}: {e}", path.display()),
+            })
+    };
+    let mut base = u64::MAX;
+    scan_records(open()?, |(ts, _, _, _)| base = base.min(ts))?;
+    if base == u64::MAX {
+        return Ok(0);
+    }
+    let mut count = 0u64;
+    scan_records(open()?, |(ts, op, offset, size)| {
+        f(Request {
             time_ns: ts.saturating_sub(base) * NS_PER_TICK,
             op,
             offset,
             len: size,
-        })
-        .collect())
+        });
+        count += 1;
+    })?;
+    Ok(count)
 }
 
 /// Parse an MSR-format trace from a string (convenience for tests and small
@@ -268,6 +316,33 @@ mod writer_tests {
         assert!(csv.contains(&format!("Write,{},{}", 5 * PAGE_SIZE, 2 * PAGE_SIZE)));
         assert!(csv.contains("Read,0,4096"));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn stream_file_matches_parse_file() {
+        let path = std::env::temp_dir().join("reqblock_msr_stream_test.csv");
+        let reqs: Vec<Request> = SyntheticTrace::new(profiles::ts_0().scaled(0.001))
+            .map(|mut r| {
+                r.time_ns = (r.time_ns / NS_PER_TICK) * NS_PER_TICK;
+                r
+            })
+            .collect();
+        write_file(&path, &reqs).unwrap();
+        let materialized = parse_file(&path).unwrap();
+        let mut streamed = Vec::new();
+        let count = stream_file(&path, |r| streamed.push(r)).unwrap();
+        assert_eq!(count as usize, materialized.len());
+        assert_eq!(streamed, materialized);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_file_empty_trace_emits_nothing() {
+        let path = std::env::temp_dir().join("reqblock_msr_stream_empty_test.csv");
+        std::fs::write(&path, "# only a comment\n\n").unwrap();
+        let count = stream_file(&path, |_| panic!("no records expected")).unwrap();
+        assert_eq!(count, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -263,7 +263,7 @@ impl SyntheticTrace {
             // cover a 64-page flash block end to end. (Without this, BPLRU's
             // sequential-fill demotion fires on every stream block, which no
             // real trace produces.)
-            let gap = self.rng.gen_range(0..=3);
+            let gap = self.rng.gen_range(0u64..=3);
             self.streams[s] = start + pages + gap;
             self.recent_large.push(Extent { start, pages });
             (start, pages)

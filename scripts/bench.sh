@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Hot-path regression gate: build release, replay the hotpath bench, and
+# compare requests/sec per policy against the committed BENCH_hotpath.json
+# ("after" numbers). Fails loudly on a >20% regression.
+#
+# Usage: scripts/bench.sh [--scale S] [--repeats N]
+#
+# Numbers are wall-clock on whatever machine runs this, so run it on an
+# otherwise idle box; the committed baseline was taken on an idle
+# single-vCPU container.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=0.25
+REPEATS=5
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --scale) SCALE="$2"; shift 2 ;;
+        --repeats) REPEATS="$2"; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== building release bench =="
+cargo build --release -p reqblock-bench --bin hotpath
+
+OUT=$(mktemp /tmp/hotpath.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+echo "== replaying ts_0 x$SCALE ($REPEATS repeats per policy) =="
+./target/release/hotpath --scale "$SCALE" --repeats "$REPEATS" --out "$OUT"
+
+echo "== comparing against committed BENCH_hotpath.json =="
+python3 - "$OUT" <<'PY'
+import json
+import sys
+
+TOLERANCE = 0.20  # fail on >20% regression vs the committed numbers
+
+with open(sys.argv[1]) as f:
+    current = {p["name"]: p["requests_per_sec"] for p in json.load(f)["policies"]}
+with open("BENCH_hotpath.json") as f:
+    committed = {
+        p["name"]: p["requests_per_sec"]
+        for p in json.load(f)["after"]["policies"]
+    }
+
+failed = False
+for name, base in sorted(committed.items()):
+    now = current.get(name)
+    if now is None:
+        print(f"FAIL {name}: missing from bench output")
+        failed = True
+        continue
+    ratio = now / base
+    verdict = "ok"
+    if ratio < 1.0 - TOLERANCE:
+        verdict = f"FAIL (>{TOLERANCE:.0%} regression)"
+        failed = True
+    print(f"{name}: {now:,.0f} req/s vs committed {base:,.0f} "
+          f"({ratio:.2f}x) {verdict}")
+
+sys.exit(1 if failed else 0)
+PY
+echo "== hot path within tolerance =="
