@@ -5,21 +5,21 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use reqblock_bench::{bench_opts, timing_profile};
 use reqblock_core::ReqBlockConfig;
 use reqblock_experiments::figures;
-use reqblock_sim::probes::{ListOccupancyProbe, Probe};
-use reqblock_sim::{run_trace_probed, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_obs::MemoryRecorder;
+use reqblock_sim::{run_trace_recorded, CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
 use reqblock_trace::SyntheticTrace;
 
 fn bench(c: &mut Criterion) {
     let (_samples, shares) = figures::fig13(&bench_opts());
     println!("{}", shares.to_markdown());
-    c.bench_function("fig13/probed_reqblock_run_ts0", |b| {
+    c.bench_function("fig13/recorded_reqblock_run_ts0", |b| {
         b.iter(|| {
             let cfg =
-                SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
-            let mut probe = ListOccupancyProbe::new(100);
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            run_trace_probed(&cfg, SyntheticTrace::new(timing_profile()), &mut probes);
-            std::hint::black_box(probe.samples.len())
+                SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+                    .with_sampling(SampleInterval::Requests(100));
+            let mut rec = MemoryRecorder::default();
+            run_trace_recorded(&cfg, SyntheticTrace::new(timing_profile()), &mut rec);
+            std::hint::black_box(rec.series_points("irl_pages").len())
         })
     });
 }

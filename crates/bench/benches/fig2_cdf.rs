@@ -4,19 +4,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use reqblock_bench::{bench_opts, timing_profile};
 use reqblock_experiments::figures;
-use reqblock_sim::probes::{Probe, SizeCdfProbe};
-use reqblock_sim::{run_trace_probed, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_sim::probes::SizeCdfProbe;
+use reqblock_sim::{run_trace_recorded, CacheSizeMb, PolicyKind, SimConfig};
 use reqblock_trace::SyntheticTrace;
 
 fn bench(c: &mut Criterion) {
     let (fig2, _fig3) = figures::fig2_fig3(&bench_opts());
     println!("{}", fig2.to_markdown());
-    c.bench_function("fig2/probed_lru_run_ts0", |b| {
+    c.bench_function("fig2/recorded_lru_run_ts0", |b| {
         b.iter(|| {
             let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
             let mut probe = SizeCdfProbe::new();
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            run_trace_probed(&cfg, SyntheticTrace::new(timing_profile()), &mut probes);
+            run_trace_recorded(&cfg, SyntheticTrace::new(timing_profile()), &mut probe);
             std::hint::black_box(probe.hit_cdf())
         })
     });

@@ -4,19 +4,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use reqblock_bench::{bench_opts, timing_profile_large};
 use reqblock_experiments::figures;
-use reqblock_sim::probes::{LargeReqHitProbe, Probe};
-use reqblock_sim::{run_trace_probed, CacheSizeMb, PolicyKind, SimConfig};
+use reqblock_sim::probes::LargeReqHitProbe;
+use reqblock_sim::{run_trace_recorded, CacheSizeMb, PolicyKind, SimConfig};
 use reqblock_trace::SyntheticTrace;
 
 fn bench(c: &mut Criterion) {
     let (_fig2, fig3) = figures::fig2_fig3(&bench_opts());
     println!("{}", fig3.to_markdown());
-    c.bench_function("fig3/probed_lru_run_proj0", |b| {
+    c.bench_function("fig3/recorded_lru_run_proj0", |b| {
         b.iter(|| {
             let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
             let mut probe = LargeReqHitProbe::new(10);
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            run_trace_probed(&cfg, SyntheticTrace::new(timing_profile_large()), &mut probes);
+            run_trace_recorded(&cfg, SyntheticTrace::new(timing_profile_large()), &mut probe);
             probe.finish();
             std::hint::black_box(probe.hit_fraction())
         })

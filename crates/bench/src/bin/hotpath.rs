@@ -6,6 +6,12 @@
 //! the Req-block policy and LRU on the paper's 16 MB device, repeats each
 //! replay a few times, and reports the best requests/sec as JSON.
 //!
+//! Each policy is measured twice: once with the no-op recorder (the normal
+//! path — this is what the regression gate watches, since a disabled
+//! observability layer must cost ~nothing) and once with a full
+//! [`MemoryRecorder`] capturing page events and sampled time series. The
+//! JSON reports both plus the recording overhead percentage.
+//!
 //! ```text
 //! cargo run --release -p reqblock-bench --bin hotpath -- \
 //!     [--scale 0.25] [--repeats 3] [--out hotpath.json]
@@ -15,7 +21,11 @@
 //! and diffs the numbers against the committed `BENCH_hotpath.json`.
 
 use reqblock_core::ReqBlockConfig;
-use reqblock_sim::{run_source, CacheSizeMb, PolicyKind, SimConfig, TraceSource};
+use reqblock_obs::MemoryRecorder;
+use reqblock_sim::{
+    run_source, run_source_recorded, CacheSizeMb, PolicyKind, SampleInterval, SimConfig,
+    TraceSource,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -26,30 +36,78 @@ struct PolicyResult {
     hit_ratio: f64,
 }
 
-fn measure(policy: PolicyKind, source: &TraceSource, requests: u64, repeats: u32) -> PolicyResult {
+fn policy_name(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::ReqBlock(_) => "Req-block",
+        _ => "LRU",
+    }
+}
+
+/// Best-of-`repeats` replay, measured twice per repeat: once with the no-op
+/// recorder (the normal path) and once with a full [`MemoryRecorder`]
+/// capturing page events plus time series sampled every 1000 requests.
+/// The two modes are interleaved inside every repeat so a load spike on a
+/// shared machine hits both the same way — sequential blocks would let
+/// background noise masquerade as (or hide) recording overhead.
+fn measure(
+    policy: PolicyKind,
+    source: &TraceSource,
+    requests: u64,
+    repeats: u32,
+) -> (PolicyResult, PolicyResult) {
     let cfg = SimConfig::paper(CacheSizeMb::Mb16, policy);
-    // Warm-up replay: page in code and the trace generator's tables.
+    let cfg_rec = cfg.clone().with_sampling(SampleInterval::Requests(1_000));
+    // Warm-up replays: page in code and the trace generator's tables.
     let warm = run_source(&cfg, source);
-    let mut best = f64::INFINITY;
+    let mut warm_rec = MemoryRecorder::default();
+    let warm_recorded = run_source_recorded(&cfg_rec, source, &mut warm_rec);
+    assert_eq!(
+        warm.metrics, warm_recorded.metrics,
+        "recording must not change the simulated model"
+    );
+    let mut best_noop = f64::INFINITY;
+    let mut best_recording = f64::INFINITY;
     for _ in 0..repeats {
         let t0 = Instant::now();
         let res = run_source(&cfg, source);
-        let elapsed = t0.elapsed().as_secs_f64();
+        best_noop = best_noop.min(t0.elapsed().as_secs_f64());
         assert_eq!(
             res.metrics, warm.metrics,
             "replay must be deterministic across repeats"
         );
-        best = best.min(elapsed);
+
+        let mut rec = MemoryRecorder::default();
+        let t0 = Instant::now();
+        let res = run_source_recorded(&cfg_rec, source, &mut rec);
+        best_recording = best_recording.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            res.metrics, warm.metrics,
+            "recorded replay must be deterministic across repeats"
+        );
     }
-    PolicyResult {
-        name: match policy {
-            PolicyKind::ReqBlock(_) => "Req-block",
-            _ => "LRU",
-        },
+    let result = |best: f64| PolicyResult {
+        name: policy_name(policy),
         requests_per_sec: requests as f64 / best,
         best_elapsed_ms: best * 1e3,
         hit_ratio: warm.metrics.hit_ratio(),
+    };
+    (result(best_noop), result(best_recording))
+}
+
+fn push_policy_array(json: &mut String, key: &str, results: &[PolicyResult], last: bool) {
+    let _ = writeln!(json, "  \"{key}\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"requests_per_sec\": {:.1}, \"best_elapsed_ms\": {:.2}, \"hit_ratio\": {:.6}}}{}",
+            r.name,
+            r.requests_per_sec,
+            r.best_elapsed_ms,
+            r.hit_ratio,
+            if i + 1 < results.len() { "," } else { "" }
+        );
     }
+    let _ = writeln!(json, "  ]{}", if last { "" } else { "," });
 }
 
 fn main() {
@@ -75,15 +133,23 @@ fn main() {
     let source = TraceSource::Synthetic(profile);
     eprintln!("hotpath: ts_0 x{scale} = {requests} requests, {repeats} repeats per policy");
 
-    let results = [
-        measure(
-            PolicyKind::ReqBlock(ReqBlockConfig::paper()),
-            &source,
-            requests,
-            repeats,
-        ),
-        measure(PolicyKind::Lru, &source, requests, repeats),
-    ];
+    let policies = [PolicyKind::ReqBlock(ReqBlockConfig::paper()), PolicyKind::Lru];
+    let (noop, recording): (Vec<PolicyResult>, Vec<PolicyResult>) =
+        policies.iter().map(|&p| measure(p, &source, requests, repeats)).unzip();
+
+    for r in &noop {
+        eprintln!(
+            "hotpath: {:<9} noop      {:>12.0} req/s  (best {:.1} ms, hit ratio {:.4})",
+            r.name, r.requests_per_sec, r.best_elapsed_ms, r.hit_ratio
+        );
+    }
+    for (n, r) in noop.iter().zip(&recording) {
+        let pct = (r.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;
+        eprintln!(
+            "hotpath: {:<9} recording {:>12.0} req/s  (best {:.1} ms, overhead {:+.1}%)",
+            r.name, r.requests_per_sec, r.best_elapsed_ms, pct
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -92,20 +158,17 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"requests\": {requests},");
     let _ = writeln!(json, "  \"repeats\": {repeats},");
-    json.push_str("  \"policies\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    push_policy_array(&mut json, "policies", &noop, false);
+    push_policy_array(&mut json, "recording_policies", &recording, false);
+    json.push_str("  \"recording_overhead_pct\": [\n");
+    for (i, (n, r)) in noop.iter().zip(&recording).enumerate() {
+        let pct = (r.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"requests_per_sec\": {:.1}, \"best_elapsed_ms\": {:.2}, \"hit_ratio\": {:.6}}}{}",
-            r.name,
-            r.requests_per_sec,
-            r.best_elapsed_ms,
-            r.hit_ratio,
-            if i + 1 < results.len() { "," } else { "" }
-        );
-        eprintln!(
-            "hotpath: {:<9} {:>12.0} req/s  (best {:.1} ms, hit ratio {:.4})",
-            r.name, r.requests_per_sec, r.best_elapsed_ms, r.hit_ratio
+            "    {{\"name\": \"{}\", \"pct\": {:.2}}}{}",
+            n.name,
+            pct,
+            if i + 1 < noop.len() { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");

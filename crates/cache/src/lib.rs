@@ -40,4 +40,4 @@ pub mod policy;
 pub use arena::{Arena, ArenaId};
 pub use fxhash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use list::{Handle, SlabList};
-pub use policy::{Access, EvictionBatch, Placement, WriteBuffer};
+pub use policy::{Access, CacheEvents, EvictionBatch, Placement, WriteBuffer};

@@ -72,6 +72,22 @@ impl EvictionBatch {
     }
 }
 
+/// Structural transition counters a policy may expose to the observability
+/// layer. The Req-block scheme reports its IRL/SRL/DRL list dynamics here
+/// (upgrades, splits, downgraded merges); simpler policies report nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheEvents {
+    /// Blocks promoted into the SRL (small-block hit, Algorithm 1 line 21).
+    pub srl_upgrades: u64,
+    /// Pages split off a large block into a DRL block (Figure 5(a)).
+    pub drl_splits: u64,
+    /// Victim evictions that merged a split block with its IRL original
+    /// (the downgraded merging of Figure 6).
+    pub downgrade_merges: u64,
+    /// Victim selections performed (eviction operations).
+    pub victim_selections: u64,
+}
+
 /// The write-buffer policy interface.
 ///
 /// Implementations must maintain: `len_pages() <= capacity_pages()` after
@@ -112,6 +128,12 @@ pub trait WriteBuffer {
     /// Pages per Req-block list level `[IRL, SRL, DRL]`; `None` for every
     /// other policy (Figure 13 probe).
     fn list_occupancy(&self) -> Option<[usize; 3]> {
+        None
+    }
+
+    /// Structural transition counters; `None` for policies without any
+    /// (only Req-block reports its list dynamics today).
+    fn events(&self) -> Option<&CacheEvents> {
         None
     }
 

@@ -69,8 +69,8 @@
 
 use reqblock_cache::overhead::REQ_BLOCK_NODE_BYTES;
 use reqblock_cache::{
-    fx_map_with_capacity, Access, Arena, ArenaId, EvictionBatch, FxHashMap, Handle, SlabList,
-    WriteBuffer,
+    fx_map_with_capacity, Access, Arena, ArenaId, CacheEvents, EvictionBatch, FxHashMap, Handle,
+    SlabList, WriteBuffer,
 };
 use reqblock_trace::Lpn;
 use serde::{Deserialize, Serialize};
@@ -206,6 +206,9 @@ pub struct ReqBlock {
     /// LPN -> (owning block, position within its page vector). Tracking the
     /// position makes page removal an O(1) swap-remove with slot fixup.
     page_index: FxHashMap<Lpn, (BlockId, u32)>,
+    /// List-transition counters for the observability layer (plain
+    /// increments on paths that already touch the block — free to keep on).
+    events: CacheEvents,
 }
 
 impl ReqBlock {
@@ -220,6 +223,7 @@ impl ReqBlock {
             lists: [SlabList::new(), SlabList::new(), SlabList::new()],
             pages_per_level: [0; 3],
             page_index: fx_map_with_capacity(capacity_pages * 2),
+            events: CacheEvents::default(),
         }
     }
 
@@ -351,6 +355,9 @@ impl ReqBlock {
         let level = block.level;
         if pages_len <= self.cfg.delta {
             // Small request block: upgrade to the SRL head.
+            if level != Level::Srl {
+                self.events.srl_upgrades += 1;
+            }
             self.move_block_to_head(bid, Level::Srl);
             return;
         }
@@ -368,6 +375,7 @@ impl ReqBlock {
         // split origin ages with a rising count while its fragments cool in
         // DRL.
         self.remove_page_from_block(bid, pos);
+        self.events.drl_splits += 1;
         let dst = self.head_block_for(Level::Drl, a.req_id, a.now, Some(bid));
         if !self.blocks[dst].pages.is_empty() {
             // Reused head block: count this additional hit page.
@@ -397,6 +405,7 @@ impl ReqBlock {
             };
         }
         let bid = victim?;
+        self.events.victim_selections += 1;
         let origin = self.blocks[bid].origin;
         let mut pages = self.remove_block(bid);
         if self.cfg.merge_on_evict {
@@ -405,6 +414,7 @@ impl ReqBlock {
                 // (it may have been evicted, emptied, or promoted since —
                 // a stale generational id resolves to None here).
                 if self.blocks.get(ob).is_some_and(|b| b.level == Level::Irl) {
+                    self.events.downgrade_merges += 1;
                     pages.extend(self.remove_block(ob));
                 }
             }
@@ -525,6 +535,10 @@ impl WriteBuffer for ReqBlock {
 
     fn list_occupancy(&self) -> Option<[usize; 3]> {
         Some(self.pages_per_level)
+    }
+
+    fn events(&self) -> Option<&CacheEvents> {
+        Some(&self.events)
     }
 
     fn drain(&mut self) -> Vec<EvictionBatch> {

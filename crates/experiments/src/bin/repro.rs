@@ -15,6 +15,8 @@
 //!   tails       extension: response-time percentiles per policy
 //!   wear        extension: GC activity and write amplification
 //!   ablations   extension: Req-block design-choice ablations (A1-A4)
+//!   telemetry   instrumented example run: JSONL time series + summary
+//!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
 //!   all         everything above (paper artifacts + extensions)
 //! ```
@@ -32,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|export|all>"
+          tails|wear|ablations|telemetry|export|all>"
     );
     std::process::exit(2);
 }
@@ -71,6 +73,10 @@ fn parse_args() -> (Opts, String) {
                     let path = args.next().unwrap_or_else(|| usage());
                     return (opts, format!("export {trace} {path}"));
                 }
+            }
+            c if !c.starts_with('-') && cmd.as_deref() == Some("telemetry") => {
+                // Optional trace operand: `telemetry <trace>`.
+                cmd = Some(format!("telemetry {c}"));
             }
             _ => usage(),
         }
@@ -116,7 +122,21 @@ fn run_comparison_figs(opts: &Opts, which: &str) {
         let hits: Vec<(String, f64)> = means.iter().map(|(n, _, h)| (n.clone(), *h)).collect();
         println!("{}", bar_chart("mean response time (normalized to LRU, lower is better)", &resp, 40));
         println!("{}", bar_chart("mean hit ratio (normalized to Req-block, higher is better)", &hits, 40));
+        emit(opts, "perf", &[figures::perf_table(&cmp)]);
     }
+}
+
+fn run_telemetry(opts: &Opts, trace: &str) {
+    let (jsonl, summary) = figures::telemetry(opts, trace);
+    let path = opts.out_dir.join(format!("telemetry_{trace}.jsonl"));
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir)
+        .and_then(|_| std::fs::write(&path, &jsonl))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {} ({} lines)]\n", path.display(), jsonl.lines().count());
+    }
+    emit(opts, &format!("telemetry_{trace}"), &[summary]);
 }
 
 fn main() -> ExitCode {
@@ -147,6 +167,11 @@ fn main() -> ExitCode {
         "tails" => emit(&opts, "tails", &[extensions::tails(&opts)]),
         "wear" => emit(&opts, "wear", &[extensions::wear(&opts)]),
         "ablations" => emit(&opts, "ablations", &[extensions::ablations(&opts)]),
+        cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
+            let trace = cmd.strip_prefix("telemetry").unwrap().trim();
+            let trace = if trace.is_empty() { "ts_0" } else { trace };
+            run_telemetry(&opts, trace);
+        }
         cmd if cmd.starts_with("export ") => {
             let mut parts = cmd.split_whitespace().skip(1);
             let trace = parts.next().unwrap_or_else(|| usage());
@@ -180,6 +205,7 @@ fn main() -> ExitCode {
             emit(&opts, "tails", &[extensions::tails(&opts)]);
             emit(&opts, "wear", &[extensions::wear(&opts)]);
             emit(&opts, "ablations", &[extensions::ablations(&opts)]);
+            run_telemetry(&opts, "ts_0");
         }
         _ => usage(),
     }

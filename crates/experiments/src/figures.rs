@@ -2,8 +2,13 @@
 
 use crate::report::{f2, f3, pct, Table};
 use reqblock_core::ReqBlockConfig;
-use reqblock_sim::probes::{LargeReqHitProbe, ListOccupancyProbe, Probe, SizeCdfProbe};
-use reqblock_sim::{run_jobs, run_trace_probed, CacheSizeMb, Job, PolicyKind, RunResult, SimConfig, TraceSource};
+use reqblock_obs::{Fanout, MemoryRecorder};
+use reqblock_sim::probes::{LargeReqHitProbe, SizeCdfProbe};
+use reqblock_obs::telemetry::{summary_rows, to_jsonl};
+use reqblock_sim::{
+    run_jobs, run_source_recorded, run_trace_recorded, CacheSizeMb, Job, PolicyKind, RunResult,
+    SampleInterval, SimConfig, TraceSource,
+};
 use reqblock_trace::stats::StatsBuilder;
 use reqblock_trace::{paper_profiles, WorkloadProfile};
 use std::collections::HashMap;
@@ -189,8 +194,11 @@ pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
         let mut cdf = SizeCdfProbe::new();
         let mut large = LargeReqHitProbe::new(threshold);
         {
-            let mut probes: [&mut dyn Probe; 2] = [&mut cdf, &mut large];
-            run_trace_probed(&cfg, requests, &mut probes);
+            // One run feeds both figure consumers through a fanout recorder.
+            let mut fan = Fanout::new();
+            fan.push(&mut cdf);
+            fan.push(&mut large);
+            run_trace_recorded(&cfg, requests, &mut fan);
         }
         large.finish();
 
@@ -282,6 +290,8 @@ pub struct Comparison {
     /// `(trace, cache, policy_name) -> result`.
     results: HashMap<(String, CacheSizeMb, &'static str), RunResult>,
     traces: Vec<String>,
+    /// `(label, host_elapsed_s, requests)` per job, in grid order.
+    perf: Vec<(String, f64, u64)>,
 }
 
 impl Comparison {
@@ -293,6 +303,11 @@ impl Comparison {
     /// Trace names in paper order.
     pub fn traces(&self) -> &[String] {
         &self.traces
+    }
+
+    /// Per-job host wall-clock data: `(label, host_elapsed_s, requests)`.
+    pub fn perf(&self) -> &[(String, f64, u64)] {
+        &self.perf
     }
 }
 
@@ -316,6 +331,10 @@ pub fn comparison(opts: &Opts) -> Comparison {
         }
     }
     let results = run_jobs(&jobs, opts.threads);
+    let perf = results
+        .iter()
+        .map(|(label, r)| (label.clone(), r.host_elapsed_s, r.metrics.requests))
+        .collect();
     let map = keys
         .into_iter()
         .zip(results)
@@ -324,7 +343,27 @@ pub fn comparison(opts: &Opts) -> Comparison {
     Comparison {
         results: map,
         traces: opts.profiles().iter().map(|p| p.name.clone()).collect(),
+        perf,
     }
+}
+
+/// Replay-throughput summary of the comparison grid: host wall-clock and
+/// requests/s per job (the per-job timing `run_jobs` workers now keep).
+pub fn perf_table(cmp: &Comparison) -> Table {
+    let mut t = Table::new(
+        "Run performance - host wall-clock per comparison job",
+        &["Job", "Requests", "Host time (s)", "Req/s"],
+    );
+    for (label, elapsed, requests) in cmp.perf() {
+        let rps = if *elapsed > 0.0 { *requests as f64 / elapsed } else { 0.0 };
+        t.push_row(vec![
+            label.clone(),
+            requests.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{rps:.0}"),
+        ]);
+    }
+    t
 }
 
 /// Figure 8: mean I/O response time normalized to LRU, plus LRU absolute ms.
@@ -494,7 +533,10 @@ pub fn summary(cmp: &Comparison) -> Table {
 // ---------------------------------------------------------------------
 
 /// Figure 13: Req-block per-list page counts sampled every `10_000 * scale`
-/// requests at 32 MB (the paper samples every 10 000 at full scale).
+/// requests at 32 MB (the paper samples every 10 000 at full scale). The
+/// samples come from the observability layer's periodic sampler: a
+/// [`MemoryRecorder`] attached to the run captures the
+/// `irl_pages`/`srl_pages`/`drl_pages` time series.
 pub fn fig13(opts: &Opts) -> (Table, Table) {
     let sample_every = ((10_000.0 * opts.scale) as u64).max(100);
     let mut samples_table = Table::new(
@@ -506,26 +548,28 @@ pub fn fig13(opts: &Opts) -> (Table, Table) {
         &["Trace", "IRL", "SRL", "DRL"],
     );
     for profile in opts.profiles() {
-        let cfg = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()));
-        let mut probe = ListOccupancyProbe::new(sample_every);
-        {
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            run_trace_probed(&cfg, opts.requests_for(&profile), &mut probes);
-        }
+        let cfg = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+            .with_sampling(SampleInterval::Requests(sample_every));
+        let mut rec = MemoryRecorder::default();
+        run_trace_recorded(&cfg, opts.requests_for(&profile), &mut rec);
+        let irl = rec.series_points("irl_pages");
+        let srl = rec.series_points("srl_pages");
+        let drl = rec.series_points("drl_pages");
         let mut sums = [0f64; 3];
         let mut n = 0f64;
-        for &(idx, occ) in &probe.samples {
+        for ((&(idx, irl_v), &(_, srl_v)), &(_, drl_v)) in irl.iter().zip(srl).zip(drl) {
+            let occ = [irl_v, srl_v, drl_v];
             samples_table.push_row(vec![
                 profile.name.clone(),
                 idx.to_string(),
-                occ[0].to_string(),
-                occ[1].to_string(),
-                occ[2].to_string(),
+                (occ[0] as u64).to_string(),
+                (occ[1] as u64).to_string(),
+                (occ[2] as u64).to_string(),
             ]);
-            let total: usize = occ.iter().sum();
-            if total > 0 {
+            let total: f64 = occ.iter().sum();
+            if total > 0.0 {
                 for i in 0..3 {
-                    sums[i] += occ[i] as f64 / total as f64;
+                    sums[i] += occ[i] / total;
                 }
                 n += 1.0;
             }
@@ -539,6 +583,43 @@ pub fn fig13(opts: &Opts) -> (Table, Table) {
         ]);
     }
     (samples_table, shares)
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: an instrumented example run
+// ---------------------------------------------------------------------
+
+/// One fully instrumented, seeded run: Req-block at 16 MB over `trace` with
+/// the periodic sampler on. Returns the JSONL telemetry document
+/// (`reqblock-obs/1` schema) and a human-readable end-of-run summary table.
+/// Deterministic: the same trace and scale produce byte-identical JSONL.
+pub fn telemetry(opts: &Opts, trace: &str) -> (String, Table) {
+    let profile = opts
+        .profiles()
+        .into_iter()
+        .find(|p| p.name == trace)
+        .unwrap_or_else(|| panic!("unknown trace {trace:?}"));
+    let sample_every = ((10_000.0 * opts.scale) as u64).max(100);
+    let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+        .with_sampling(SampleInterval::Requests(sample_every));
+    let mut rec = MemoryRecorder::default();
+    run_source_recorded(&cfg, &opts.source_for(&profile), &mut rec);
+    let meta = [
+        ("trace", profile.name.clone()),
+        ("policy", cfg.policy.name().to_string()),
+        ("cache", "16MB".to_string()),
+        ("scale", format!("{}", opts.scale)),
+        ("sample_every", sample_every.to_string()),
+    ];
+    let jsonl = to_jsonl(&rec, &meta);
+    let mut t = Table::new(
+        format!("Telemetry summary - {} / {} / 16MB", profile.name, cfg.policy.name()),
+        &["Kind", "Name", "Value"],
+    );
+    for (kind, name, value) in summary_rows(&rec) {
+        t.push_row(vec![kind, name, value]);
+    }
+    (jsonl, t)
 }
 
 #[cfg(test)]
@@ -604,6 +685,11 @@ mod tests {
         assert_eq!(t12.rows.len(), 3);
         let s = summary(&cmp);
         assert_eq!(s.rows.len(), 3);
+        // Satellite: every grid job keeps its own host wall-clock.
+        assert_eq!(cmp.perf().len(), 6 * 3 * 4);
+        assert!(cmp.perf().iter().all(|(_, elapsed, reqs)| *elapsed > 0.0 && *reqs > 0));
+        let tp = perf_table(&cmp);
+        assert_eq!(tp.rows.len(), 72);
     }
 
     #[test]
@@ -611,6 +697,22 @@ mod tests {
         let (samples, shares) = fig13(&tiny_opts());
         assert!(!samples.rows.is_empty());
         assert_eq!(shares.rows.len(), 6);
+    }
+
+    #[test]
+    fn telemetry_run_is_deterministic_and_sampled() {
+        let opts = tiny_opts();
+        let (jsonl_a, summary) = telemetry(&opts, "ts_0");
+        let (jsonl_b, _) = telemetry(&opts, "ts_0");
+        assert_eq!(jsonl_a, jsonl_b, "seeded telemetry must be byte-identical");
+        assert!(jsonl_a.starts_with("{\"type\":\"run_meta\""));
+        for series in ["hit_ratio", "write_amp", "chan_util"] {
+            assert!(
+                jsonl_a.contains(&format!("\"series\":\"{series}\"")),
+                "missing series {series}"
+            );
+        }
+        assert!(!summary.rows.is_empty());
     }
 }
 

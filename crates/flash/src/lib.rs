@@ -23,4 +23,4 @@ pub mod timeline;
 
 pub use addr::{Addr, ChipId, Ppn};
 pub use config::SsdConfig;
-pub use timeline::{Completion, FlashTimeline, OpCounters};
+pub use timeline::{BusyStats, Completion, FlashTimeline, OpCounters};

@@ -66,6 +66,63 @@ impl OpCounters {
     }
 }
 
+/// Always-on busy-time accounting, kept separate from [`OpCounters`] (whose
+/// exact shape is pinned by golden tests). Busy horizons say when a resource
+/// frees up; these say how much of the elapsed run each resource actually
+/// worked — the basis of the channel-utilization time series and the
+/// queueing-delay diagnostics of the observability layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusyStats {
+    /// Bus-transfer time accumulated per channel, ns.
+    pub channel_busy_ns: Vec<u64>,
+    /// Array + register occupancy accumulated per chip, ns.
+    pub chip_busy_ns: Vec<u64>,
+    /// Total time operations spent queued behind busy resources (start
+    /// delayed past the requested issue time), ns.
+    pub wait_ns: u128,
+    /// Operations that had to wait at all.
+    pub waited_ops: u64,
+}
+
+impl BusyStats {
+    fn new(channels: usize, chips: usize) -> Self {
+        Self {
+            channel_busy_ns: vec![0; channels],
+            chip_busy_ns: vec![0; chips],
+            wait_ns: 0,
+            waited_ops: 0,
+        }
+    }
+
+    fn note_wait(&mut self, requested_ns: u64, start_ns: u64) {
+        let wait = start_ns.saturating_sub(requested_ns);
+        if wait > 0 {
+            self.wait_ns += wait as u128;
+            self.waited_ops += 1;
+        }
+    }
+
+    /// Sum of per-channel bus busy time, ns.
+    pub fn total_channel_busy_ns(&self) -> u128 {
+        self.channel_busy_ns.iter().map(|&b| b as u128).sum()
+    }
+
+    /// Sum of per-chip busy time, ns.
+    pub fn total_chip_busy_ns(&self) -> u128 {
+        self.chip_busy_ns.iter().map(|&b| b as u128).sum()
+    }
+
+    /// Mean channel (bus) utilization over `[0, now_ns]`; 0 when `now_ns`
+    /// is 0. Can exceed 1.0 when horizons run past `now_ns` (overload).
+    pub fn channel_utilization(&self, now_ns: u64) -> f64 {
+        if now_ns == 0 || self.channel_busy_ns.is_empty() {
+            return 0.0;
+        }
+        self.total_channel_busy_ns() as f64
+            / (self.channel_busy_ns.len() as u128 * now_ns as u128) as f64
+    }
+}
+
 /// Who issued an operation (for counter attribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Origin {
@@ -82,6 +139,7 @@ pub struct FlashTimeline {
     chip_free_ns: Vec<u64>,
     chips_per_channel: usize,
     counters: OpCounters,
+    busy: BusyStats,
 }
 
 impl FlashTimeline {
@@ -92,12 +150,18 @@ impl FlashTimeline {
             chip_free_ns: vec![0; cfg.total_chips()],
             chips_per_channel: cfg.chips_per_channel,
             counters: OpCounters::default(),
+            busy: BusyStats::new(cfg.channels, cfg.total_chips()),
         }
     }
 
     /// Operation counters so far.
     pub fn counters(&self) -> &OpCounters {
         &self.counters
+    }
+
+    /// Busy-time accounting so far.
+    pub fn busy(&self) -> &BusyStats {
+        &self.busy
     }
 
     /// Earliest time `chip` can start an array operation.
@@ -120,6 +184,9 @@ impl FlashTimeline {
         // Chip holds the page register until the data is moved out.
         self.chip_free_ns[chip] = end;
         self.channel_free_ns[ch] = end;
+        self.busy.note_wait(at, sense_start);
+        self.busy.channel_busy_ns[ch] += cfg.page_transfer_ns();
+        self.busy.chip_busy_ns[chip] += end - sense_start;
         match origin {
             Origin::User => self.counters.user_reads += 1,
             Origin::Gc => self.counters.gc_reads += 1,
@@ -143,6 +210,9 @@ impl FlashTimeline {
         let end = xfer_done + cfg.program_latency_ns;
         self.channel_free_ns[ch] = xfer_done; // bus released after transfer
         self.chip_free_ns[chip] = end;
+        self.busy.note_wait(at, xfer_start);
+        self.busy.channel_busy_ns[ch] += cfg.page_transfer_ns();
+        self.busy.chip_busy_ns[chip] += end - xfer_start;
         match origin {
             Origin::User => self.counters.user_programs += 1,
             Origin::Gc => self.counters.gc_programs += 1,
@@ -155,6 +225,8 @@ impl FlashTimeline {
         let start = at.max(self.chip_free_ns[chip]);
         let end = start + cfg.erase_latency_ns;
         self.chip_free_ns[chip] = end;
+        self.busy.note_wait(at, start);
+        self.busy.chip_busy_ns[chip] += cfg.erase_latency_ns;
         self.counters.erases += 1;
         Completion { start_ns: start, end_ns: end }
     }
@@ -280,6 +352,36 @@ mod tests {
     #[test]
     fn write_amplification_defaults_to_one() {
         assert_eq!(OpCounters::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn busy_stats_track_transfer_and_occupancy() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        let c = tl.program(&cfg, 0, 0, Origin::User);
+        let b = tl.busy();
+        assert_eq!(b.channel_busy_ns[0], cfg.page_transfer_ns());
+        assert_eq!(b.chip_busy_ns[0], c.end_ns - c.start_ns);
+        assert_eq!(b.wait_ns, 0, "first op on idle device never waits");
+        assert_eq!(b.waited_ops, 0);
+        // A second program on the same chip queues behind the first.
+        let c2 = tl.program(&cfg, 0, 0, Origin::User);
+        let b = tl.busy();
+        assert_eq!(b.waited_ops, 1);
+        assert_eq!(b.wait_ns, c2.start_ns as u128);
+        assert!(b.channel_utilization(c2.end_ns) > 0.0);
+        assert!(b.channel_utilization(0) == 0.0);
+    }
+
+    #[test]
+    fn busy_stats_erase_charges_chip_only() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        tl.erase(&cfg, 2, 0);
+        let b = tl.busy();
+        assert_eq!(b.chip_busy_ns[2], cfg.erase_latency_ns);
+        assert_eq!(b.total_channel_busy_ns(), 0);
+        assert_eq!(b.total_chip_busy_ns(), cfg.erase_latency_ns as u128);
     }
 
     #[test]

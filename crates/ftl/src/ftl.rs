@@ -36,6 +36,18 @@ pub struct FtlStats {
     pub unmapped_reads: u64,
 }
 
+/// GC timing observability, kept separate from [`FtlStats`] (whose exact
+/// shape is pinned by golden tests). [`FtlStats`] says how much GC moved;
+/// this says how long the device was tied up doing it — the "GC burst"
+/// signal the observability layer surfaces over time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlObs {
+    /// Summed service time of every GC read/program/erase, ns.
+    pub gc_busy_ns: u128,
+    /// Longest single GC round (victim migration + erase), ns.
+    pub gc_max_pause_ns: u64,
+}
+
 /// Sentinel for "unmapped" in the dense translation tables.
 const UNMAPPED: u32 = u32::MAX;
 
@@ -95,6 +107,7 @@ pub struct Ftl {
     /// single-block batches across chips between evictions).
     cursor: usize,
     stats: FtlStats,
+    obs: FtlObs,
 }
 
 impl Ftl {
@@ -112,6 +125,7 @@ impl Ftl {
             cursor: 0,
             cfg: cfg.clone(),
             stats: FtlStats::default(),
+            obs: FtlObs::default(),
         }
     }
 
@@ -123,6 +137,11 @@ impl Ftl {
     /// GC statistics so far.
     pub fn stats(&self) -> &FtlStats {
         &self.stats
+    }
+
+    /// GC timing observability so far.
+    pub fn obs(&self) -> &FtlObs {
+        &self.obs
     }
 
     /// Is `lpn` currently mapped to a physical page?
@@ -145,6 +164,12 @@ impl Ftl {
     /// Free blocks on each chip (diagnostics).
     pub fn free_blocks_per_chip(&self) -> Vec<usize> {
         self.chips.iter().map(|c| c.blocks.free_count()).collect()
+    }
+
+    /// Free blocks across the drive (no allocation; sampled every
+    /// observation interval, unlike [`Ftl::free_blocks_per_chip`]).
+    pub fn free_blocks_total(&self) -> usize {
+        self.chips.iter().map(|c| c.blocks.free_count()).sum()
     }
 
     /// Maximum per-block erase count across the drive (wear ceiling).
@@ -235,6 +260,7 @@ impl Ftl {
         // Collect the victim's valid pages before mutating anything.
         let valid_bitmap = self.chips[chip].blocks.meta(victim).valid;
         let pages_per_block = self.cfg.pages_per_block as u16;
+        let mut round_busy_ns = 0u128;
         for page in 0..pages_per_block {
             if valid_bitmap & (1u64 << page) == 0 {
                 continue;
@@ -242,16 +268,21 @@ impl Ftl {
             let src_ppn = self.ppn_of(chip, victim, page);
             let lpn = self.p2l.get(src_ppn as usize);
             debug_assert_ne!(lpn, UNMAPPED, "valid page without reverse mapping");
-            tl.read(&self.cfg, chip, at, Origin::Gc);
+            let rd = tl.read(&self.cfg, chip, at, Origin::Gc);
+            round_busy_ns += (rd.end_ns - rd.start_ns) as u128;
             // Invalidate the source, then rewrite within the chip.
             self.chips[chip].blocks.invalidate(victim, page);
             self.p2l.set(src_ppn as usize, UNMAPPED);
             self.l2p.set(lpn as usize, UNMAPPED);
             self.allocate_mapped(chip, lpn as Lpn);
-            tl.program(&self.cfg, chip, at, Origin::Gc);
-            self.stats.gc_migrated_pages += 1;
+            let pr = tl.program(&self.cfg, chip, at, Origin::Gc);
+            round_busy_ns += (pr.end_ns - pr.start_ns) as u128;
         }
-        tl.erase(&self.cfg, chip, at);
+        let er = tl.erase(&self.cfg, chip, at);
+        round_busy_ns += (er.end_ns - er.start_ns) as u128;
+        self.stats.gc_migrated_pages += valid_bitmap.count_ones() as u64;
+        self.obs.gc_busy_ns += round_busy_ns;
+        self.obs.gc_max_pause_ns = self.obs.gc_max_pause_ns.max(round_busy_ns as u64);
         self.chips[chip].blocks.erase(victim);
         self.stats.gc_runs += 1;
         self.stats.gc_erased_blocks += 1;
@@ -461,6 +492,38 @@ mod tests {
         assert_eq!(c.user_programs, user_before + 60 * 32);
         assert_eq!(c.gc_programs, ftl.stats().gc_migrated_pages);
         assert!(c.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn gc_obs_accumulates_busy_time() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        assert_eq!(ftl.obs().gc_busy_ns, 0);
+        for round in 0..40 {
+            for lpn in 0..64u64 {
+                ftl.write_pages(&[lpn], round * 1_000_000, Placement::Striped, &mut tl);
+            }
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        let obs = ftl.obs();
+        assert!(obs.gc_busy_ns > 0, "GC ran but no busy time recorded");
+        assert!(obs.gc_max_pause_ns > 0);
+        assert!(obs.gc_busy_ns >= obs.gc_max_pause_ns as u128);
+        // Every GC round includes at least its erase.
+        assert!(
+            obs.gc_busy_ns
+                >= ftl.stats().gc_runs as u128 * ftl.config().erase_latency_ns as u128
+        );
+    }
+
+    #[test]
+    fn free_blocks_total_matches_per_chip_sum() {
+        let (mut ftl, mut tl, _cfg) = setup();
+        let before = ftl.free_blocks_total();
+        assert_eq!(before, ftl.free_blocks_per_chip().iter().sum::<usize>());
+        ftl.write_pages(&(0..64).collect::<Vec<_>>(), 0, Placement::Striped, &mut tl);
+        let after = ftl.free_blocks_total();
+        assert!(after < before, "allocations must consume free blocks");
+        assert_eq!(after, ftl.free_blocks_per_chip().iter().sum::<usize>());
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod ftl;
 pub mod gc;
 
 pub use blocks::{BlockState, ChipBlocks};
-pub use ftl::{Ftl, FtlStats, Placement};
+pub use ftl::{Ftl, FtlObs, FtlStats, Placement};

@@ -1,0 +1,315 @@
+//! Reusable log-bucketed histogram.
+//!
+//! Generalizes the simulator's original fixed-shape latency histogram:
+//! buckets grow geometrically (x2) from a runtime-chosen base, with exact
+//! tracking of count, sum, min and max. The default shape is the latency
+//! preset the paper's tail-percentile extension uses — 30 buckets from
+//! 1 us, covering 1 us .. ~1100 s — but producers can size one for any
+//! quantity (queue depths, batch sizes, GC pause lengths).
+//!
+//! Two histograms [`merge`](Histogram::merge) only when their shapes match;
+//! merged counts are exact because bucket boundaries coincide.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket count of the latency preset.
+const LATENCY_BUCKETS: usize = 30;
+/// Base (lower bound of bucket 0) of the latency preset: 1 us in ns.
+const LATENCY_BASE_NS: u64 = 1_000;
+
+/// Log2-bucketed histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bound of bucket 0; each later bucket doubles it.
+    base: u64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram with `buckets` geometric buckets starting at `base`
+    /// (bucket 0 holds samples `<= base`; the last bucket is unbounded).
+    pub fn new(base: u64, buckets: usize) -> Self {
+        assert!(base > 0, "histogram base must be positive");
+        assert!(buckets >= 2, "need at least two buckets");
+        Self { base, counts: vec![0; buckets], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The latency preset: 1 us base, 30 buckets (1 us .. ~1100 s in ns).
+    pub fn latency() -> Self {
+        Self::new(LATENCY_BASE_NS, LATENCY_BUCKETS)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Smallest bucket whose upper bound covers `v`: bucket `i` holds
+    /// samples in `(base << (i-1), base << i]` (bucket 0: `[0, base]`).
+    fn bucket_of(&self, v: u64) -> usize {
+        if v <= self.base {
+            return 0;
+        }
+        let q = v.div_ceil(self.base); // > 1 here
+        ((64 - (q - 1).leading_zeros()) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (the last bucket is unbounded
+    /// and reports `u64::MAX`).
+    pub fn bucket_upper(&self, i: usize) -> u64 {
+        if i >= self.counts.len() - 1 {
+            u64::MAX
+        } else {
+            self.base.saturating_shl(i as u32)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Upper bound of the bucket containing the q-quantile
+    /// (0.0 < q <= 1.0). Bucketed, so accurate to a factor of two — enough
+    /// to distinguish "microseconds" from "a flush stall".
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                // Cap by the observed max: tighter than the bucket bound.
+                return self.bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one. Panics if the shapes (base
+    /// and bucket count) differ — merged buckets would be meaningless.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.base, other.base, "histogram base mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram bucket-count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// `(bucket_upper, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_upper(i), c))
+            .collect()
+    }
+}
+
+/// `u64 << n` that saturates instead of overflowing (very large bases with
+/// many buckets would otherwise wrap).
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if n >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::latency();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile_upper(0.99), 0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::latency();
+        for v in [1_000u64, 2_000, 3_000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 4_000.0);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.sum(), 16_000);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = Histogram::latency();
+        // 99 fast samples, 1 slow one.
+        for _ in 0..99 {
+            h.record(2_000);
+        }
+        h.record(50_000_000); // 50 ms
+        let p50 = h.quantile_upper(0.5);
+        assert!(p50 <= 4_000, "p50 {p50}");
+        let p99 = h.quantile_upper(0.99);
+        assert!(p99 <= 4_000, "p99 {p99}");
+        let p100 = h.quantile_upper(1.0);
+        assert_eq!(p100, 50_000_000);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let h = Histogram::latency();
+        let mut prev = 0;
+        for i in 0..h.buckets() {
+            let b = h.bucket_upper(i);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn samples_fall_into_their_bucket() {
+        let mut h = Histogram::latency();
+        for v in [0u64, 1, 999, 1_000, 1_001, 123_456, u64::MAX / 2] {
+            h.record(v);
+            let b = h.bucket_of(v);
+            assert!(v <= h.bucket_upper(b));
+            if b > 0 {
+                assert!(v > h.bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_shape_buckets_small_values() {
+        // A queue-depth histogram: base 1, 8 buckets -> 1,2,4,...,unbounded.
+        let mut h = Histogram::new(1, 8);
+        for d in [1u64, 2, 3, 9, 200] {
+            h.record(d);
+        }
+        assert_eq!(h.bucket_upper(0), 1);
+        assert_eq!(h.bucket_upper(1), 2);
+        assert_eq!(h.bucket_upper(2), 4);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 200);
+        assert_eq!(h.nonzero_buckets().len(), 5); // 1 | 2 | 3..4 | 9..16 | 200
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::latency();
+        let mut b = Histogram::latency();
+        a.record(1_000);
+        b.record(1_000_000);
+        b.record(8_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1_000);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_counts() {
+        let mut a = Histogram::new(10, 6);
+        let mut b = Histogram::new(10, 6);
+        for v in [5u64, 11, 80, 641] {
+            a.record(v);
+        }
+        for v in [9u64, 10, 10_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram base mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(1, 8);
+        let b = Histogram::new(2, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let h = Histogram::latency();
+        let _ = h.quantile_upper(1.5);
+    }
+
+    #[test]
+    fn saturating_shift_never_wraps() {
+        let h = Histogram::new(u64::MAX / 2, 8);
+        assert_eq!(h.bucket_upper(5), u64::MAX);
+    }
+}

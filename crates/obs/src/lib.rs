@@ -1,0 +1,37 @@
+//! Observability substrate for the Req-block simulator workspace.
+//!
+//! Diagnosing *why* a policy wins needs dynamics over time — GC bursts,
+//! channel contention, write-amplification drift — not just end-of-run
+//! aggregates. This crate provides the instrumentation vocabulary the rest
+//! of the workspace speaks:
+//!
+//! * [`Recorder`] — the sink trait. Every hook has a no-op default and
+//!   [`Recorder::enabled`] defaults to `false`, so instrumented code guards
+//!   its per-event calls with one cached bool and a disabled run costs
+//!   nothing measurable (the hot path stays at PR 1 speed; `scripts/bench.sh`
+//!   gates the overhead at < 2 %).
+//! * [`NoopRecorder`] — the disabled sink ([`Ssd::submit`]-style paths).
+//! * [`MemoryRecorder`] — accumulates counters, gauges, span stats and
+//!   sampled time series in `BTreeMap`s, so iteration order — and therefore
+//!   the emitted telemetry — is deterministic for a deterministic run.
+//! * [`Fanout`] — drives several recorders from one run (e.g. the Figure 2
+//!   and Figure 3 consumers share a replay).
+//! * [`Histogram`] — reusable log2-bucketed histogram (generalizes the old
+//!   `sim/histogram.rs` latency histogram to runtime base/bucket counts).
+//! * [`telemetry`] — deterministic JSONL rendering of a [`MemoryRecorder`]
+//!   plus human-readable summary rows.
+//!
+//! The crate is dependency-free (the `serde` dependency is the workspace's
+//! offline marker-trait stand-in) and knows nothing about caches, FTLs or
+//! flash: producers translate their events into the neutral vocabulary
+//! (counter/gauge/span/sample/page).
+//!
+//! [`Ssd::submit`]: https://docs.rs/reqblock-sim
+
+pub mod histogram;
+pub mod recorder;
+pub mod telemetry;
+
+pub use histogram::Histogram;
+pub use recorder::{Fanout, MemoryRecorder, NoopRecorder, PageEvent, Recorder, SpanStats};
+pub use telemetry::{jsonl_escape, SCHEMA_VERSION};

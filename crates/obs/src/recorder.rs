@@ -1,0 +1,340 @@
+//! The [`Recorder`] sink trait and its standard implementations.
+
+use std::collections::BTreeMap;
+
+/// One page-level cache access, as the simulator saw it. Neutral mirror of
+/// the cache layer's `Access` so figure consumers (size CDFs, large-request
+/// hit tracking) can live downstream of this crate without a cache
+/// dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageEvent {
+    /// Logical page accessed.
+    pub lpn: u64,
+    /// Monotone id of the enclosing request.
+    pub req_id: u64,
+    /// Total pages of the enclosing request.
+    pub req_pages: u32,
+    /// Logical time (pages processed so far).
+    pub now: u64,
+    /// `true` for a write access, `false` for a read.
+    pub is_write: bool,
+    /// Did the buffer already hold the page?
+    pub hit: bool,
+}
+
+/// Aggregate of one named span: how often it fired and how long it took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Times the span was recorded.
+    pub count: u64,
+    /// Sum of recorded durations, ns.
+    pub total_ns: u128,
+    /// Longest single duration, ns.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean duration in ns (0 when never fired).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.count as f64
+    }
+
+    fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns as u128;
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+}
+
+/// Observability sink. Every hook defaults to a no-op and
+/// [`enabled`](Recorder::enabled) defaults to `false`, so instrumented code
+/// caches `let on = rec.enabled();` once per request and skips the per-event
+/// virtual calls entirely when recording is off — that is the whole
+/// "zero overhead when off" contract.
+///
+/// Implementations are free to ignore hooks they don't care about: a figure
+/// probe may only consume [`page`](Recorder::page) events, a telemetry
+/// collector everything.
+pub trait Recorder {
+    /// Should producers bother calling the per-event hooks?
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `delta` to the named monotone counter.
+    fn counter(&mut self, _key: &str, _delta: u64) {}
+
+    /// Set the named gauge to its latest value.
+    fn gauge(&mut self, _key: &str, _value: f64) {}
+
+    /// Record one duration of the named span (e.g. a flush-induced stall).
+    fn span(&mut self, _key: &str, _dur_ns: u64) {}
+
+    /// Append one `(t, value)` point to the named time series.
+    fn sample(&mut self, _series: &str, _t: u64, _value: f64) {}
+
+    /// One page-level cache access.
+    fn page(&mut self, _ev: &PageEvent) {}
+
+    /// A request finished (its pages were all delivered via
+    /// [`page`](Recorder::page) beforehand).
+    fn request_end(&mut self, _req_index: u64) {}
+}
+
+/// The disabled sink: reports `enabled() == false` and drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// In-memory collector. Counters, gauges, spans and series live in
+/// `BTreeMap`s keyed by name, so iteration — and the JSONL rendered from it
+/// — is byte-deterministic for a deterministic run.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanStats>,
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl MemoryRecorder {
+    /// Fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of a counter (0 when never touched).
+    pub fn counter_value(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge.
+    pub fn gauge_value(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Aggregate of a span.
+    pub fn span_stats(&self, key: &str) -> Option<&SpanStats> {
+        self.spans.get(key)
+    }
+
+    /// Points of one time series (empty when never sampled).
+    pub fn series_points(&self, series: &str) -> &[(u64, f64)] {
+        self.series.get(series).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, sorted by key.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All spans, sorted by key.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&mut self, key: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(key) {
+            *v += delta;
+        } else {
+            self.counters.insert(key.to_string(), delta);
+        }
+    }
+
+    fn gauge(&mut self, key: &str, value: f64) {
+        if let Some(v) = self.gauges.get_mut(key) {
+            *v = value;
+        } else {
+            self.gauges.insert(key.to_string(), value);
+        }
+    }
+
+    fn span(&mut self, key: &str, dur_ns: u64) {
+        if let Some(s) = self.spans.get_mut(key) {
+            s.record(dur_ns);
+        } else {
+            let mut s = SpanStats::default();
+            s.record(dur_ns);
+            self.spans.insert(key.to_string(), s);
+        }
+    }
+
+    fn sample(&mut self, series: &str, t: u64, value: f64) {
+        if let Some(points) = self.series.get_mut(series) {
+            points.push((t, value));
+        } else {
+            self.series.insert(series.to_string(), vec![(t, value)]);
+        }
+    }
+}
+
+/// Drives several recorders from one run. `enabled()` is the OR of the
+/// children, and every event is forwarded to each child (children that left
+/// a hook defaulted simply ignore it).
+#[derive(Default)]
+pub struct Fanout<'a> {
+    sinks: Vec<&'a mut dyn Recorder>,
+}
+
+impl<'a> Fanout<'a> {
+    /// Empty fanout (equivalent to [`NoopRecorder`] until sinks are added).
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Add a child sink.
+    pub fn push(&mut self, sink: &'a mut dyn Recorder) {
+        self.sinks.push(sink);
+    }
+}
+
+impl Recorder for Fanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn counter(&mut self, key: &str, delta: u64) {
+        for s in &mut self.sinks {
+            s.counter(key, delta);
+        }
+    }
+
+    fn gauge(&mut self, key: &str, value: f64) {
+        for s in &mut self.sinks {
+            s.gauge(key, value);
+        }
+    }
+
+    fn span(&mut self, key: &str, dur_ns: u64) {
+        for s in &mut self.sinks {
+            s.span(key, dur_ns);
+        }
+    }
+
+    fn sample(&mut self, series: &str, t: u64, value: f64) {
+        for s in &mut self.sinks {
+            s.sample(series, t, value);
+        }
+    }
+
+    fn page(&mut self, ev: &PageEvent) {
+        for s in &mut self.sinks {
+            s.page(ev);
+        }
+    }
+
+    fn request_end(&mut self, req_index: u64) {
+        for s in &mut self.sinks {
+            s.request_end(req_index);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.counter("x", 1);
+        r.gauge("y", 2.0);
+        r.span("z", 3);
+        r.sample("s", 0, 1.0);
+    }
+
+    #[test]
+    fn memory_recorder_accumulates() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.enabled());
+        r.counter("evictions", 2);
+        r.counter("evictions", 3);
+        r.gauge("wa", 1.5);
+        r.gauge("wa", 1.7);
+        r.span("flush_wait", 100);
+        r.span("flush_wait", 300);
+        r.sample("hit_ratio", 0, 0.5);
+        r.sample("hit_ratio", 10, 0.6);
+
+        assert_eq!(r.counter_value("evictions"), 5);
+        assert_eq!(r.counter_value("missing"), 0);
+        assert_eq!(r.gauge_value("wa"), Some(1.7));
+        let s = r.span_stats("flush_wait").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert_eq!(r.series_points("hit_ratio"), &[(0, 0.5), (10, 0.6)]);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_key() {
+        let mut r = MemoryRecorder::new();
+        r.counter("zeta", 1);
+        r.counter("alpha", 1);
+        r.counter("mid", 1);
+        let keys: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_children() {
+        let mut a = MemoryRecorder::new();
+        let mut b = MemoryRecorder::new();
+        {
+            let mut fan = Fanout::new();
+            fan.push(&mut a);
+            fan.push(&mut b);
+            assert!(fan.enabled());
+            fan.counter("c", 1);
+            fan.page(&PageEvent {
+                lpn: 7,
+                req_id: 0,
+                req_pages: 1,
+                now: 1,
+                is_write: true,
+                hit: false,
+            });
+            fan.request_end(0);
+        }
+        assert_eq!(a.counter_value("c"), 1);
+        assert_eq!(b.counter_value("c"), 1);
+    }
+
+    #[test]
+    fn empty_fanout_is_disabled() {
+        let fan = Fanout::new();
+        assert!(!fan.enabled());
+    }
+
+    #[test]
+    fn fanout_of_noops_is_disabled() {
+        let mut n1 = NoopRecorder;
+        let mut n2 = NoopRecorder;
+        let mut fan = Fanout::new();
+        fan.push(&mut n1);
+        fan.push(&mut n2);
+        assert!(!fan.enabled());
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic JSONL rendering of a [`MemoryRecorder`].
+//!
+//! One run emits one JSONL file. Line types (the golden schema test in the
+//! workspace pins these field names and types — extend, don't rename):
+//!
+//! ```text
+//! {"type":"run_meta","schema":"reqblock-obs/1","policy":"Req-block",...}
+//! {"type":"point","series":"hit_ratio","t":10000,"v":0.551}
+//! {"type":"counter","key":"flash_user_programs","value":14863}
+//! {"type":"gauge","key":"write_amp","value":1.0}
+//! {"type":"span","key":"flush_wait","count":1626,"total_ns":..,"max_ns":..,"mean_ns":..}
+//! ```
+//!
+//! * `run_meta` comes first; every value is a string; callers choose the
+//!   pairs (policy, trace, cache size, scale, ...).
+//! * `point` lines follow, series sorted by name, points in sample order.
+//! * `counter`, `gauge`, `span` aggregates close the file, sorted by key.
+//!
+//! No serde JSON implementation exists in this offline workspace, so the
+//! writer formats by hand; determinism comes from the recorder's `BTreeMap`
+//! storage and Rust's shortest-roundtrip `f64` `Display`.
+
+use crate::recorder::MemoryRecorder;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every `run_meta` line. Bump on breaking changes.
+pub const SCHEMA_VERSION: &str = "reqblock-obs/1";
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn jsonl_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (non-finite values become `null`, which
+/// JSON has no number spelling for).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render one run's telemetry as JSONL. `meta` pairs land in the leading
+/// `run_meta` line in the order given; everything else comes from the
+/// recorder in sorted-key order, so identical runs yield identical bytes.
+pub fn to_jsonl(rec: &MemoryRecorder, meta: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"type\":\"run_meta\",\"schema\":\"");
+    out.push_str(SCHEMA_VERSION);
+    out.push('"');
+    for (k, v) in meta {
+        let _ = write!(out, ",\"{}\":\"{}\"", jsonl_escape(k), jsonl_escape(v));
+    }
+    out.push_str("}\n");
+
+    for name in rec.series_names() {
+        for &(t, v) in rec.series_points(name) {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"point\",\"series\":\"{}\",\"t\":{},\"v\":{}}}",
+                jsonl_escape(name),
+                t,
+                json_f64(v)
+            );
+        }
+    }
+    for (key, value) in rec.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"key\":\"{}\",\"value\":{}}}",
+            jsonl_escape(key),
+            value
+        );
+    }
+    for (key, value) in rec.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"key\":\"{}\",\"value\":{}}}",
+            jsonl_escape(key),
+            json_f64(value)
+        );
+    }
+    for (key, s) in rec.spans() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"key\":\"{}\",\"count\":{},\"total_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+            jsonl_escape(key),
+            s.count,
+            s.total_ns,
+            s.max_ns,
+            json_f64(s.mean_ns())
+        );
+    }
+    out
+}
+
+/// Human-readable end-of-run summary: `(kind, name, value)` rows, in the
+/// same order the JSONL emits aggregates. Callers lay these out as a table.
+pub fn summary_rows(rec: &MemoryRecorder) -> Vec<(String, String, String)> {
+    let mut rows = Vec::new();
+    for (key, value) in rec.counters() {
+        rows.push(("counter".into(), key.to_string(), value.to_string()));
+    }
+    for (key, value) in rec.gauges() {
+        rows.push(("gauge".into(), key.to_string(), format!("{value:.4}")));
+    }
+    for (key, s) in rec.spans() {
+        rows.push((
+            "span".into(),
+            key.to_string(),
+            format!(
+                "count={} total={:.3}ms max={:.3}ms mean={:.1}us",
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.max_ns as f64 / 1e6,
+                s.mean_ns() / 1e3
+            ),
+        ));
+    }
+    for name in rec.series_names() {
+        let points = rec.series_points(name);
+        let last = points.last().map(|&(_, v)| v).unwrap_or(0.0);
+        rows.push((
+            "series".into(),
+            name.to_string(),
+            format!("{} points, last={:.4}", points.len(), last),
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_recorder() -> MemoryRecorder {
+        let mut r = MemoryRecorder::new();
+        r.counter("b_counter", 7);
+        r.counter("a_counter", 3);
+        r.gauge("write_amp", 1.25);
+        r.span("flush_wait", 1_000);
+        r.span("flush_wait", 3_000);
+        r.sample("hit_ratio", 0, 0.5);
+        r.sample("hit_ratio", 100, 0.625);
+        r
+    }
+
+    #[test]
+    fn jsonl_layout_and_ordering() {
+        let r = sample_recorder();
+        let text = to_jsonl(&r, &[("policy", "LRU".into())]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"run_meta\",\"schema\":\"reqblock-obs/1\",\"policy\":\"LRU\"}"
+        );
+        assert_eq!(lines[1], "{\"type\":\"point\",\"series\":\"hit_ratio\",\"t\":0,\"v\":0.5}");
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"point\",\"series\":\"hit_ratio\",\"t\":100,\"v\":0.625}"
+        );
+        // Counters sorted by key: a_counter before b_counter.
+        assert_eq!(lines[3], "{\"type\":\"counter\",\"key\":\"a_counter\",\"value\":3}");
+        assert_eq!(lines[4], "{\"type\":\"counter\",\"key\":\"b_counter\",\"value\":7}");
+        assert_eq!(lines[5], "{\"type\":\"gauge\",\"key\":\"write_amp\",\"value\":1.25}");
+        assert!(lines[6].starts_with("{\"type\":\"span\",\"key\":\"flush_wait\",\"count\":2,"));
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    fn identical_recorders_render_identical_bytes() {
+        let a = to_jsonl(&sample_recorder(), &[("seed", "42".into())]);
+        let b = to_jsonl(&sample_recorder(), &[("seed", "42".into())]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(jsonl_escape("a\"b"), "a\\\"b");
+        assert_eq!(jsonl_escape("a\\b"), "a\\\\b");
+        assert_eq!(jsonl_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(jsonl_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let mut r = MemoryRecorder::new();
+        r.gauge("bad", f64::NAN);
+        let text = to_jsonl(&r, &[]);
+        assert!(text.contains("\"value\":null"), "{text}");
+    }
+
+    #[test]
+    fn summary_rows_cover_every_kind() {
+        let rows = summary_rows(&sample_recorder());
+        let kinds: Vec<&str> = rows.iter().map(|(k, _, _)| k.as_str()).collect();
+        assert_eq!(kinds, vec!["counter", "counter", "gauge", "span", "series"]);
+        assert!(rows.iter().any(|(_, n, v)| n == "hit_ratio" && v.contains("2 points")));
+    }
+}

@@ -114,6 +114,23 @@ impl PolicyKind {
     }
 }
 
+/// When the periodic time-series sampler snapshots device state into the
+/// active [`reqblock_obs::Recorder`]. Sampling only happens while a
+/// recording run is in flight — with the no-op recorder the sampler is
+/// never consulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SampleInterval {
+    /// Never sample (the default; plain metric runs).
+    #[default]
+    Off,
+    /// Snapshot every N completed requests (`t` = request index). The
+    /// paper's Figure 13 samples every 10 000 requests at full scale.
+    Requests(u64),
+    /// Snapshot when at least this much simulated time (request arrival
+    /// clock, ns) has passed since the previous snapshot (`t` = arrival ns).
+    SimTimeNs(u64),
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -126,6 +143,8 @@ pub struct SimConfig {
     /// Sample metadata size / node count every this many requests (for the
     /// Figure 12 space-overhead averages). 0 disables sampling.
     pub overhead_sample_every: u64,
+    /// Time-series sampling cadence for recorded runs.
+    pub sampling: SampleInterval,
 }
 
 impl SimConfig {
@@ -136,6 +155,7 @@ impl SimConfig {
             cache_pages: cache.pages(),
             policy,
             overhead_sample_every: 1_000,
+            sampling: SampleInterval::Off,
         }
     }
 
@@ -146,7 +166,14 @@ impl SimConfig {
             cache_pages,
             policy,
             overhead_sample_every: 10,
+            sampling: SampleInterval::Off,
         }
+    }
+
+    /// Same config with a different sampling cadence (builder-style).
+    pub fn with_sampling(mut self, sampling: SampleInterval) -> Self {
+        self.sampling = sampling;
+        self
     }
 }
 

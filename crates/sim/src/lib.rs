@@ -16,23 +16,29 @@
 //! time differences of the paper's Figure 8.
 //!
 //! * [`SimConfig`]/[`PolicyKind`]/[`CacheSizeMb`] — run configuration.
-//! * [`machine::Ssd`] — the device model (`submit` one request at a time).
+//! * [`machine::Ssd`] — the device model (`submit` one request at a time;
+//!   `submit_recorded` streams events into a [`reqblock_obs::Recorder`]).
 //! * [`Metrics`] — hit/response/eviction counters (Figures 8-11).
-//! * [`probes`] — figure-specific instrumentation (Figures 2, 3, 13).
+//! * [`probes`] — figure-specific recorder consumers (Figures 2, 3).
 //! * [`runner`] — whole-trace execution and multi-run sweeps.
+//!
+//! Observability: pass any [`reqblock_obs::Recorder`] to the `*_recorded`
+//! entry points to capture page events, flush-wait spans, the end-of-run
+//! counter/gauge rollup, and — when [`config::SampleInterval`] is set —
+//! periodic time series (hit ratio, write amplification, channel
+//! utilization, buffer occupancy, free blocks, Req-block list occupancy).
 
 pub mod config;
-pub mod histogram;
 pub mod machine;
 pub mod metrics;
 pub mod probes;
 pub mod runner;
 
-pub use config::{CacheSizeMb, PolicyKind, SimConfig};
-pub use histogram::LatencyHistogram;
+pub use config::{CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
 pub use machine::Ssd;
 pub use metrics::Metrics;
+pub use reqblock_obs::Histogram as LatencyHistogram;
 pub use runner::{
-    run_jobs, run_source, run_source_probed, run_trace, run_trace_probed, Job, RunResult,
-    TraceSource,
+    run_jobs, run_source, run_source_recorded, run_trace, run_trace_drained, run_trace_recorded,
+    Job, RunResult, TraceSource,
 };

@@ -1,15 +1,16 @@
 //! The simulated SSD: DRAM write buffer + FTL + flash timeline.
 
-use crate::config::SimConfig;
+use crate::config::{SampleInterval, SimConfig};
 use crate::metrics::Metrics;
-use crate::probes::Probe;
 use reqblock_cache::{Access, EvictionBatch, Placement as CachePlacement, WriteBuffer};
 use reqblock_flash::{FlashTimeline, OpCounters};
 use reqblock_ftl::{Ftl, FtlStats, Placement as FtlPlacement};
+use reqblock_obs::{NoopRecorder, PageEvent, Recorder};
 use reqblock_trace::{OpType, Request};
 
 /// One simulated SSD instance. Feed it requests in trace order via
-/// [`Ssd::submit`]; collect results with the accessors afterwards.
+/// [`Ssd::submit`] (or [`Ssd::submit_recorded`] to stream events into a
+/// [`Recorder`]); collect results with the accessors afterwards.
 pub struct Ssd {
     cfg: SimConfig,
     cache: Box<dyn WriteBuffer>,
@@ -20,6 +21,12 @@ pub struct Ssd {
     logical_now: u64,
     /// Monotone request counter (request-block identity).
     req_counter: u64,
+    /// Arrival time (ns) of the most recent request — the utilization window.
+    last_arrival_ns: u64,
+    /// Next `t` (request index or arrival ns, per the sampling mode) at
+    /// which the time-series sampler fires. Starts at 0 so the first
+    /// request is always sampled.
+    next_sample: u64,
 }
 
 impl Ssd {
@@ -30,7 +37,17 @@ impl Ssd {
         let cache = cfg.policy.build(cfg.cache_pages, cfg.ssd.pages_per_block);
         let ftl = Ftl::new(&cfg.ssd);
         let timeline = FlashTimeline::new(&cfg.ssd);
-        Self { cache, ftl, timeline, metrics: Metrics::default(), logical_now: 0, req_counter: 0, cfg }
+        Self {
+            cache,
+            ftl,
+            timeline,
+            metrics: Metrics::default(),
+            logical_now: 0,
+            req_counter: 0,
+            last_arrival_ns: 0,
+            next_sample: 0,
+            cfg,
+        }
     }
 
     /// Metrics accumulated so far.
@@ -48,7 +65,7 @@ impl Ssd {
         self.ftl.stats()
     }
 
-    /// The cache policy (for probes and occupancy queries).
+    /// The cache policy (for occupancy queries and event counters).
     pub fn cache(&self) -> &dyn WriteBuffer {
         self.cache.as_ref()
     }
@@ -78,18 +95,50 @@ impl Ssd {
         done.max(self.ftl.write_pages(&batch.lpns, done, placement, &mut self.timeline))
     }
 
-    /// Submit one request; returns its response time in ns.
-    pub fn submit(&mut self, req: &Request) -> u64 {
-        self.submit_probed(req, &mut [])
+    /// Flush one eviction batch and attribute the time the triggering
+    /// request spends waiting for it to the dedicated flush-wait span, so
+    /// buffer-induced stalls stay distinguishable from the device service
+    /// time of the request's own pages.
+    fn flush_and_account<R: Recorder + ?Sized>(
+        &mut self,
+        batch: &EvictionBatch,
+        at: u64,
+        on: bool,
+        rec: &mut R,
+    ) -> u64 {
+        let flushed = self.flush_batch(batch, at);
+        let stall = flushed.saturating_sub(at);
+        if stall > 0 {
+            self.metrics.flush_stalls += 1;
+            self.metrics.flush_stall_ns += stall as u128;
+            if on {
+                rec.span("flush_wait", stall);
+            }
+        }
+        flushed
     }
 
-    /// Submit one request, invoking `probes` on every page access.
-    pub fn submit_probed(&mut self, req: &Request, probes: &mut [&mut dyn Probe]) -> u64 {
+    /// Submit one request; returns its response time in ns.
+    pub fn submit(&mut self, req: &Request) -> u64 {
+        self.submit_recorded(req, &mut NoopRecorder)
+    }
+
+    /// Submit one request, streaming page events, flush-wait spans and
+    /// periodic samples into `rec`. With a disabled recorder every
+    /// per-event hook is skipped — `rec.enabled()` is consulted once per
+    /// request. The recorder is a generic parameter (not `dyn`) so the
+    /// plain [`Ssd::submit`] path monomorphizes with [`NoopRecorder`]:
+    /// `enabled()` inlines to `false` and the optimizer removes every
+    /// recording branch, leaving the uninstrumented hot path bit-identical
+    /// in cost to one with no recorder argument at all.
+    pub fn submit_recorded<R: Recorder + ?Sized>(&mut self, req: &Request, rec: &mut R) -> u64 {
+        let on = rec.enabled();
         let at = req.time_ns;
         let pages = req.page_count();
         let req_id = self.req_counter;
         self.req_counter += 1;
         self.metrics.requests += 1;
+        self.last_arrival_ns = self.last_arrival_ns.max(at);
         let mut done = at;
         let mut evictions: Vec<EvictionBatch> = Vec::new();
         match req.op {
@@ -104,8 +153,15 @@ impl Ssd {
                     if hit {
                         self.metrics.write_hits += 1;
                     }
-                    for p in probes.iter_mut() {
-                        p.on_page(&a, true, hit);
+                    if on {
+                        rec.page(&PageEvent {
+                            lpn,
+                            req_id,
+                            req_pages: pages as u32,
+                            now: self.logical_now,
+                            is_write: true,
+                            hit,
+                        });
                     }
                     // Buffered write: one DRAM access, plus — when this page
                     // forced an eviction — the victim flush it must wait
@@ -117,7 +173,7 @@ impl Ssd {
                     // latency, while BPLRU's single-block flushes serialize.
                     done = done.max(at + self.cfg.ssd.dram_access_ns);
                     for batch in &evictions {
-                        done = done.max(self.flush_batch(batch, at));
+                        done = done.max(self.flush_and_account(batch, at, on, rec));
                     }
                 }
             }
@@ -135,13 +191,20 @@ impl Ssd {
                     } else {
                         done = done.max(self.ftl.read_page(lpn, at, &mut self.timeline));
                     }
-                    for p in probes.iter_mut() {
-                        p.on_page(&a, false, hit);
+                    if on {
+                        rec.page(&PageEvent {
+                            lpn,
+                            req_id,
+                            req_pages: pages as u32,
+                            now: self.logical_now,
+                            is_write: false,
+                            hit,
+                        });
                     }
                     // Read-caching policies (CFLRU ablation) may evict here;
                     // same synchronous stall as the write path.
                     for batch in &evictions {
-                        done = done.max(self.flush_batch(batch, at));
+                        done = done.max(self.flush_and_account(batch, at, on, rec));
                     }
                 }
             }
@@ -153,10 +216,120 @@ impl Ssd {
             self.metrics.metadata_bytes_sum += self.cache.metadata_bytes() as u128;
             self.metrics.node_count_sum += self.cache.node_count() as u128;
         }
-        for p in probes.iter_mut() {
-            p.on_request_end(req_id, self.cache.as_ref());
+        if on {
+            rec.request_end(req_id);
+            self.maybe_sample(req_id, at, rec);
         }
         response
+    }
+
+    /// Fire the periodic sampler if the configured interval has elapsed.
+    fn maybe_sample<R: Recorder + ?Sized>(&mut self, req_id: u64, arrival_ns: u64, rec: &mut R) {
+        let t = match self.cfg.sampling {
+            SampleInterval::Off => return,
+            SampleInterval::Requests(n) => {
+                if req_id < self.next_sample {
+                    return;
+                }
+                self.next_sample = req_id + n.max(1);
+                req_id
+            }
+            SampleInterval::SimTimeNs(dt) => {
+                if arrival_ns < self.next_sample {
+                    return;
+                }
+                self.next_sample = arrival_ns + dt.max(1);
+                arrival_ns
+            }
+        };
+        self.emit_sample(t, rec);
+    }
+
+    /// Snapshot the device state as one point per time series.
+    fn emit_sample<R: Recorder + ?Sized>(&self, t: u64, rec: &mut R) {
+        rec.sample("hit_ratio", t, self.metrics.hit_ratio());
+        rec.sample("write_amp", t, self.timeline.counters().write_amplification());
+        rec.sample("chan_util", t, self.timeline.busy().channel_utilization(self.last_arrival_ns));
+        let occ = self.cache.len_pages() as f64 / self.cache.capacity_pages() as f64;
+        rec.sample("buf_occupancy", t, occ);
+        rec.sample("free_blocks", t, self.ftl.free_blocks_total() as f64);
+        if let Some([irl, srl, drl]) = self.cache.list_occupancy() {
+            rec.sample("irl_pages", t, irl as f64);
+            rec.sample("srl_pages", t, srl as f64);
+            rec.sample("drl_pages", t, drl as f64);
+        }
+    }
+
+    /// Emit the end-of-run rollup into `rec`: flash/FTL/cache/metric
+    /// counters, final gauges, and per-channel busy time. No-op when the
+    /// recorder is disabled. Runners call this automatically.
+    pub fn finish_recording<R: Recorder + ?Sized>(&mut self, rec: &mut R) {
+        if !rec.enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        rec.counter("requests", m.requests);
+        rec.counter("read_reqs", m.read_reqs);
+        rec.counter("write_reqs", m.write_reqs);
+        rec.counter("read_pages", m.read_pages);
+        rec.counter("write_pages", m.write_pages);
+        rec.counter("read_hits", m.read_hits);
+        rec.counter("write_hits", m.write_hits);
+        rec.counter("evictions", m.evictions);
+        rec.counter("evicted_pages", m.evicted_pages);
+        rec.counter("clean_dropped_pages", m.clean_dropped_pages);
+        rec.counter("pad_read_pages", m.pad_read_pages);
+        rec.counter("flush_stalls", m.flush_stalls);
+        rec.counter("flush_stall_ns", saturate_u64(m.flush_stall_ns));
+
+        let c = *self.timeline.counters();
+        rec.counter("flash_user_reads", c.user_reads);
+        rec.counter("flash_user_programs", c.user_programs);
+        rec.counter("flash_gc_reads", c.gc_reads);
+        rec.counter("flash_gc_programs", c.gc_programs);
+        rec.counter("flash_erases", c.erases);
+
+        let f = *self.ftl.stats();
+        rec.counter("gc_runs", f.gc_runs);
+        rec.counter("gc_migrated_pages", f.gc_migrated_pages);
+        rec.counter("gc_erased_blocks", f.gc_erased_blocks);
+        rec.counter("unmapped_reads", f.unmapped_reads);
+        let o = *self.ftl.obs();
+        rec.counter("gc_busy_ns", saturate_u64(o.gc_busy_ns));
+        rec.gauge("gc_max_pause_ms", o.gc_max_pause_ns as f64 / 1e6);
+
+        if let Some(ev) = self.cache.events() {
+            rec.counter("cache_srl_upgrades", ev.srl_upgrades);
+            rec.counter("cache_drl_splits", ev.drl_splits);
+            rec.counter("cache_downgrade_merges", ev.downgrade_merges);
+            rec.counter("cache_victim_selections", ev.victim_selections);
+        }
+
+        let busy = self.timeline.busy().clone();
+        rec.counter("flash_waits", busy.waited_ops);
+        rec.counter("flash_wait_ns", saturate_u64(busy.wait_ns));
+        for (ch, &ns) in busy.channel_busy_ns.iter().enumerate() {
+            rec.gauge(&format!("chan{ch}_busy_ms"), ns as f64 / 1e6);
+        }
+        let chips = &busy.chip_busy_ns;
+        if !chips.is_empty() {
+            let max = chips.iter().copied().max().unwrap_or(0);
+            let mean = chips.iter().map(|&n| n as u128).sum::<u128>() as f64 / chips.len() as f64;
+            rec.gauge("chip_busy_ms_max", max as f64 / 1e6);
+            rec.gauge("chip_busy_ms_mean", mean / 1e6);
+        }
+
+        rec.gauge("hit_ratio", m.hit_ratio());
+        rec.gauge("write_amp", c.write_amplification());
+        rec.gauge("chan_util", busy.channel_utilization(self.last_arrival_ns));
+        rec.gauge(
+            "buf_occupancy",
+            self.cache.len_pages() as f64 / self.cache.capacity_pages() as f64,
+        );
+        rec.gauge("free_blocks", self.ftl.free_blocks_total() as f64);
+        rec.gauge("avg_response_ms", m.avg_response_ms());
+        rec.gauge("p99_response_ms", m.response_percentile_ms(0.99));
+        rec.gauge("avg_flush_stall_ms", m.avg_flush_stall_ms());
     }
 
     /// Flush everything still buffered (end-of-trace). The flush traffic is
@@ -177,6 +350,11 @@ impl Ssd {
     }
 }
 
+/// Clamp a u128 nanosecond total into the u64 counter domain.
+fn saturate_u64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
 impl Ssd {
     /// Nanoseconds the given chip's busy horizon extends past `now`
     /// (diagnostics; 0 when the chip is idle at `now`).
@@ -190,6 +368,7 @@ mod tests {
     use super::*;
     use crate::config::PolicyKind;
     use reqblock_core::ReqBlockConfig;
+    use reqblock_obs::MemoryRecorder;
 
     fn tiny(policy: PolicyKind, cache_pages: usize) -> Ssd {
         Ssd::new(SimConfig::tiny(cache_pages, policy))
@@ -229,6 +408,30 @@ mod tests {
         assert!(r >= cfg.page_transfer_ns() + cfg.program_latency_ns);
         assert_eq!(ssd.metrics().evictions, 1);
         assert_eq!(ssd.flash_counters().user_programs, 1);
+    }
+
+    #[test]
+    fn flush_stall_attributed_to_dedicated_span() {
+        let mut ssd = tiny(PolicyKind::Lru, 4);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..4 {
+            ssd.submit_recorded(&Request::write_pages(i, i, 1), &mut rec);
+        }
+        assert!(rec.span_stats("flush_wait").is_none(), "no eviction yet");
+        let r = ssd.submit_recorded(&Request::write_pages(100, 100, 1), &mut rec);
+        let span = rec.span_stats("flush_wait").expect("eviction must record a stall");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.max_ns, r, "whole response is the flush wait here");
+        assert_eq!(ssd.metrics().flush_stalls, 1);
+        assert_eq!(ssd.metrics().flush_stall_ns, r as u128);
+        // Stall accounting is recorder-independent: a fresh device replaying
+        // the same requests without a recorder sees the same metrics.
+        let mut plain = tiny(PolicyKind::Lru, 4);
+        for i in 0..4 {
+            plain.submit(&Request::write_pages(i, i, 1));
+        }
+        plain.submit(&Request::write_pages(100, 100, 1));
+        assert_eq!(plain.metrics(), ssd.metrics());
     }
 
     #[test]
@@ -282,5 +485,69 @@ mod tests {
         // sample_every = 10 in tiny config -> samples at req 0, 10, 20.
         assert_eq!(ssd.metrics().overhead_samples, 3);
         assert!(ssd.metrics().avg_metadata_bytes() > 0.0);
+    }
+
+    #[test]
+    fn request_sampler_emits_series_on_schedule() {
+        let cfg = SimConfig::tiny(16, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+            .with_sampling(SampleInterval::Requests(2));
+        let mut ssd = Ssd::new(cfg);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..5u64 {
+            ssd.submit_recorded(&Request::write_pages(i, i, 1), &mut rec);
+        }
+        // Samples at requests 0, 2, 4.
+        let hits = rec.series_points("hit_ratio");
+        assert_eq!(hits.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 2, 4]);
+        // Req-block reports its per-list series too.
+        for series in ["write_amp", "chan_util", "buf_occupancy", "free_blocks", "irl_pages"] {
+            assert_eq!(rec.series_points(series).len(), 3, "{series}");
+        }
+    }
+
+    #[test]
+    fn sim_time_sampler_respects_interval() {
+        let cfg = SimConfig::tiny(16, PolicyKind::Lru)
+            .with_sampling(SampleInterval::SimTimeNs(1_000));
+        let mut ssd = Ssd::new(cfg);
+        let mut rec = MemoryRecorder::default();
+        for t in [0u64, 100, 999, 1_500, 1_600, 3_000] {
+            ssd.submit_recorded(&Request::write_pages(t, t / 100, 1), &mut rec);
+        }
+        let pts = rec.series_points("buf_occupancy");
+        assert_eq!(pts.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 1_500, 3_000]);
+        // LRU has no per-list occupancy series.
+        assert!(rec.series_points("irl_pages").is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_skips_sampling_but_not_metrics() {
+        let cfg = SimConfig::tiny(16, PolicyKind::Lru)
+            .with_sampling(SampleInterval::Requests(1));
+        let mut ssd = Ssd::new(cfg);
+        for i in 0..5u64 {
+            ssd.submit(&Request::write_pages(i, i, 1));
+        }
+        assert_eq!(ssd.metrics().requests, 5);
+    }
+
+    #[test]
+    fn finish_recording_rolls_up_counters_and_gauges() {
+        let mut ssd = tiny(PolicyKind::ReqBlock(ReqBlockConfig::paper()), 8);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..30u64 {
+            ssd.submit_recorded(&Request::write_pages(i * 50, i * 2, 2), &mut rec);
+        }
+        ssd.finish_recording(&mut rec);
+        assert_eq!(rec.counter_value("requests"), 30);
+        assert_eq!(rec.counter_value("write_pages"), 60);
+        assert_eq!(rec.counter_value("flash_user_programs"), ssd.flash_counters().user_programs);
+        assert_eq!(
+            rec.counter_value("cache_victim_selections"),
+            ssd.cache().events().unwrap().victim_selections
+        );
+        assert!(rec.gauge_value("hit_ratio").is_some());
+        assert!(rec.gauge_value("chan0_busy_ms").is_some());
+        assert!(rec.gauge_value("avg_response_ms").unwrap() > 0.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Run metrics: everything the paper's Figures 8-12 report, plus response
-//! tail percentiles (an extension; see [`crate::histogram`]).
+//! tail percentiles (an extension; see [`reqblock_obs::Histogram`]).
 
-use crate::histogram::LatencyHistogram;
+use reqblock_obs::Histogram as LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated over one simulation run.
@@ -39,6 +39,12 @@ pub struct Metrics {
     pub metadata_bytes_sum: u128,
     /// Sum of sampled node counts.
     pub node_count_sum: u128,
+    /// Nanoseconds requests spent stalled waiting for eviction flushes to
+    /// complete (buffer-induced stalls, as opposed to device service time
+    /// of the request's own pages).
+    pub flush_stall_ns: u128,
+    /// Flush waits that actually stalled a request (stall > 0).
+    pub flush_stalls: u64,
     /// Per-request response-time distribution (extension beyond Figure 8's
     /// means: p50/p99/max).
     pub response_hist: LatencyHistogram,
@@ -105,7 +111,17 @@ impl Metrics {
 
     /// Response-time percentile in milliseconds (bucketed upper bound).
     pub fn response_percentile_ms(&self, q: f64) -> f64 {
-        self.response_hist.quantile_upper_ns(q) as f64 / 1e6
+        self.response_hist.quantile_upper(q) as f64 / 1e6
+    }
+
+    /// Mean flush-induced stall per request in milliseconds. Together with
+    /// [`Metrics::avg_response_ms`] this splits response time into "waiting
+    /// for the buffer" vs "serving the request's own pages".
+    pub fn avg_flush_stall_ms(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.flush_stall_ns as f64 / self.requests as f64 / 1e6
     }
 
     /// Record one request's response time.

@@ -1,28 +1,24 @@
-//! Figure-specific instrumentation.
+//! Figure-specific consumers of the observability layer.
 //!
-//! Probes observe every page access and request boundary without touching
-//! the device model. Three are provided, one per instrumented figure:
+//! These used to be a bespoke `Probe` mechanism; they are now ordinary
+//! [`Recorder`] implementations fed by [`crate::machine::Ssd::submit_recorded`],
+//! so figure instrumentation and run telemetry share one event stream.
+//! Two are provided:
 //!
 //! * [`SizeCdfProbe`] — Figure 2: CDFs of page inserts and page hits as a
 //!   function of the size of the *inserting* write request.
 //! * [`LargeReqHitProbe`] — Figure 3: what fraction of pages inserted by
 //!   large requests is ever re-accessed while cached.
-//! * [`ListOccupancyProbe`] — Figure 13: pages per Req-block list, sampled
-//!   every 10 000 requests.
+//!
+//! The former Figure 13 list-occupancy probe is gone: per-list occupancy is
+//! now a sampled time series (`irl_pages`/`srl_pages`/`drl_pages`) captured
+//! by any [`reqblock_obs::MemoryRecorder`] when the run's
+//! [`crate::config::SampleInterval`] is set. Use [`reqblock_obs::Fanout`] to
+//! feed several consumers from one run.
 
-use reqblock_cache::{Access, WriteBuffer};
-use reqblock_trace::Lpn;
 use reqblock_cache::FxHashMap;
-
-/// Observer of page accesses and request completions.
-pub trait Probe {
-    /// Called once per page access. `is_write` distinguishes the op;
-    /// `hit` says whether the buffer already held the page.
-    fn on_page(&mut self, _a: &Access, _is_write: bool, _hit: bool) {}
-
-    /// Called after each request completes, with access to the cache.
-    fn on_request_end(&mut self, _req_index: u64, _cache: &dyn WriteBuffer) {}
-}
+use reqblock_obs::{PageEvent, Recorder};
+use reqblock_trace::Lpn;
 
 /// Figure 2 probe: attribute every page insert and every subsequent hit to
 /// the page count of the write request that inserted the page.
@@ -96,16 +92,20 @@ impl SizeCdfProbe {
     }
 }
 
-impl Probe for SizeCdfProbe {
-    fn on_page(&mut self, a: &Access, is_write: bool, hit: bool) {
-        if hit {
-            if let Some(&size) = self.inserted_by.get(&a.lpn) {
+impl Recorder for SizeCdfProbe {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn page(&mut self, ev: &PageEvent) {
+        if ev.hit {
+            if let Some(&size) = self.inserted_by.get(&ev.lpn) {
                 *self.hits_by_size.entry(size).or_insert(0) += 1;
             }
-        } else if is_write {
+        } else if ev.is_write {
             // Insert: the page now belongs to this request's size class.
-            self.inserted_by.insert(a.lpn, a.req_pages);
-            *self.inserts_by_size.entry(a.req_pages).or_insert(0) += 1;
+            self.inserted_by.insert(ev.lpn, ev.req_pages);
+            *self.inserts_by_size.entry(ev.req_pages).or_insert(0) += 1;
         }
     }
 }
@@ -156,50 +156,27 @@ impl LargeReqHitProbe {
     }
 }
 
-impl Probe for LargeReqHitProbe {
-    fn on_page(&mut self, a: &Access, is_write: bool, hit: bool) {
-        if hit {
-            if let Some(flag) = self.live.get_mut(&a.lpn) {
+impl Recorder for LargeReqHitProbe {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn page(&mut self, ev: &PageEvent) {
+        if ev.hit {
+            if let Some(flag) = self.live.get_mut(&ev.lpn) {
                 *flag = true;
             }
             return;
         }
-        if is_write && a.req_pages > self.threshold {
+        if ev.is_write && ev.req_pages > self.threshold {
             // New episode for this page; close any previous one.
-            if let Some(prev) = self.live.insert(a.lpn, false) {
+            if let Some(prev) = self.live.insert(ev.lpn, false) {
                 self.finalize(prev);
             }
-        } else if is_write {
+        } else if ev.is_write {
             // A small request re-inserted the page: the large episode ends.
-            if let Some(prev) = self.live.remove(&a.lpn) {
+            if let Some(prev) = self.live.remove(&ev.lpn) {
                 self.finalize(prev);
-            }
-        }
-    }
-}
-
-/// Figure 13 probe: sample `[IRL, SRL, DRL]` page counts every
-/// `sample_every` requests.
-#[derive(Debug)]
-pub struct ListOccupancyProbe {
-    sample_every: u64,
-    /// `(request_index, [irl, srl, drl])` samples.
-    pub samples: Vec<(u64, [usize; 3])>,
-}
-
-impl ListOccupancyProbe {
-    /// Sample every `sample_every` requests (the paper logs every 10 000).
-    pub fn new(sample_every: u64) -> Self {
-        assert!(sample_every > 0);
-        Self { sample_every, samples: Vec::new() }
-    }
-}
-
-impl Probe for ListOccupancyProbe {
-    fn on_request_end(&mut self, req_index: u64, cache: &dyn WriteBuffer) {
-        if req_index.is_multiple_of(self.sample_every) {
-            if let Some(occ) = cache.list_occupancy() {
-                self.samples.push((req_index, occ));
             }
         }
     }
@@ -209,22 +186,22 @@ impl Probe for ListOccupancyProbe {
 mod tests {
     use super::*;
 
-    fn acc(lpn: Lpn, req_pages: u32) -> Access {
-        Access { lpn, req_id: 0, req_pages, now: 0 }
+    fn ev(lpn: Lpn, req_pages: u32, is_write: bool, hit: bool) -> PageEvent {
+        PageEvent { lpn, req_id: 0, req_pages, now: 0, is_write, hit }
     }
 
     #[test]
     fn size_cdf_attributes_hits_to_inserting_request() {
         let mut p = SizeCdfProbe::new();
         // Insert lpn 0 via a 2-page request, lpn 1 via a 10-page request.
-        p.on_page(&acc(0, 2), true, false);
-        p.on_page(&acc(1, 10), true, false);
+        p.page(&ev(0, 2, true, false));
+        p.page(&ev(1, 10, true, false));
         // Three hits on lpn 0 (even from differently sized requests).
-        p.on_page(&acc(0, 8), false, true);
-        p.on_page(&acc(0, 1), true, true);
-        p.on_page(&acc(0, 1), false, true);
+        p.page(&ev(0, 8, false, true));
+        p.page(&ev(0, 1, true, true));
+        p.page(&ev(0, 1, false, true));
         // One hit on lpn 1.
-        p.on_page(&acc(1, 1), false, true);
+        p.page(&ev(1, 1, false, true));
         assert_eq!(p.inserts_by_size[&2], 1);
         assert_eq!(p.inserts_by_size[&10], 1);
         assert_eq!(p.hits_by_size[&2], 3);
@@ -236,10 +213,10 @@ mod tests {
     #[test]
     fn size_cdf_reinsert_reattributes() {
         let mut p = SizeCdfProbe::new();
-        p.on_page(&acc(0, 10), true, false); // inserted by large
+        p.page(&ev(0, 10, true, false)); // inserted by large
         // Evicted (invisible to the probe), re-inserted by a small request.
-        p.on_page(&acc(0, 1), true, false);
-        p.on_page(&acc(0, 4), false, true);
+        p.page(&ev(0, 1, true, false));
+        p.page(&ev(0, 4, false, true));
         assert_eq!(p.hits_by_size[&1], 1);
         assert!(!p.hits_by_size.contains_key(&10));
     }
@@ -248,7 +225,7 @@ mod tests {
     fn cdf_is_monotone_and_ends_at_one() {
         let mut p = SizeCdfProbe::new();
         for (lpn, size) in [(0u64, 1u32), (1, 1), (2, 4), (3, 16)] {
-            p.on_page(&acc(lpn, size), true, false);
+            p.page(&ev(lpn, size, true, false));
         }
         let cdf = p.insert_cdf();
         assert_eq!(cdf.len(), 3);
@@ -263,10 +240,10 @@ mod tests {
     fn large_hit_probe_counts_episodes() {
         let mut p = LargeReqHitProbe::new(4);
         // Two pages inserted by a large (8-page) request.
-        p.on_page(&acc(0, 8), true, false);
-        p.on_page(&acc(1, 8), true, false);
+        p.page(&ev(0, 8, true, false));
+        p.page(&ev(1, 8, true, false));
         // lpn 0 gets hit; lpn 1 never.
-        p.on_page(&acc(0, 1), false, true);
+        p.page(&ev(0, 1, false, true));
         p.finish();
         assert_eq!(p.episodes, 2);
         assert_eq!(p.episodes_hit, 1);
@@ -276,8 +253,8 @@ mod tests {
     #[test]
     fn large_hit_probe_ignores_small_inserts() {
         let mut p = LargeReqHitProbe::new(4);
-        p.on_page(&acc(0, 2), true, false); // small insert: not tracked
-        p.on_page(&acc(0, 1), false, true);
+        p.page(&ev(0, 2, true, false)); // small insert: not tracked
+        p.page(&ev(0, 1, false, true));
         p.finish();
         assert_eq!(p.episodes, 0);
     }
@@ -285,43 +262,36 @@ mod tests {
     #[test]
     fn large_hit_probe_closes_episode_on_reinsert() {
         let mut p = LargeReqHitProbe::new(4);
-        p.on_page(&acc(0, 8), true, false);
-        p.on_page(&acc(0, 8), true, false); // re-insert: closes unhit episode
-        p.on_page(&acc(0, 2), true, false); // small insert closes second one
+        p.page(&ev(0, 8, true, false));
+        p.page(&ev(0, 8, true, false)); // re-insert: closes unhit episode
+        p.page(&ev(0, 2, true, false)); // small insert closes second one
         p.finish();
         assert_eq!(p.episodes, 2);
         assert_eq!(p.episodes_hit, 0);
     }
 
     #[test]
-    fn occupancy_probe_samples_reqblock_only() {
+    fn probes_consume_a_recorded_run_via_fanout() {
         use crate::config::{PolicyKind, SimConfig};
         use crate::machine::Ssd;
-        use reqblock_core::ReqBlockConfig;
+        use reqblock_obs::Fanout;
         use reqblock_trace::Request;
 
-        let mut probe = ListOccupancyProbe::new(2);
+        let mut cdf = SizeCdfProbe::new();
+        let mut large = LargeReqHitProbe::new(4);
         {
-            let mut ssd = Ssd::new(SimConfig::tiny(16, PolicyKind::Lru));
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            for i in 0..5u64 {
-                ssd.submit_probed(&Request::write_pages(i, i, 1), &mut probes);
+            let mut ssd = Ssd::new(SimConfig::tiny(32, PolicyKind::Lru));
+            let mut fan = Fanout::new();
+            fan.push(&mut cdf);
+            fan.push(&mut large);
+            for i in 0..4u64 {
+                ssd.submit_recorded(&Request::write_pages(i, i * 8, 8), &mut fan);
             }
+            ssd.submit_recorded(&Request::write_pages(10, 0, 1), &mut fan);
         }
-        assert!(probe.samples.is_empty(), "LRU reports no occupancy");
-
-        let mut probe = ListOccupancyProbe::new(2);
-        {
-            let mut ssd =
-                Ssd::new(SimConfig::tiny(16, PolicyKind::ReqBlock(ReqBlockConfig::paper())));
-            let mut probes: [&mut dyn Probe; 1] = [&mut probe];
-            for i in 0..5u64 {
-                ssd.submit_probed(&Request::write_pages(i, i, 1), &mut probes);
-            }
-        }
-        assert_eq!(probe.samples.len(), 3); // requests 0, 2, 4
-        for (_, occ) in &probe.samples {
-            assert!(occ.iter().sum::<usize>() <= 16);
-        }
+        large.finish();
+        assert_eq!(cdf.inserts_by_size[&8], 32);
+        assert_eq!(cdf.hits_by_size[&8], 1, "the 1-page overwrite hit");
+        assert!(large.episodes >= 1);
     }
 }

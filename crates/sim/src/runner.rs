@@ -3,13 +3,14 @@
 use crate::config::SimConfig;
 use crate::machine::Ssd;
 use crate::metrics::Metrics;
-use crate::probes::Probe;
 use reqblock_flash::OpCounters;
 use reqblock_ftl::FtlStats;
+use reqblock_obs::{NoopRecorder, Recorder};
 use reqblock_trace::{Request, SyntheticTrace, WorkloadProfile};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
@@ -24,6 +25,9 @@ pub struct RunResult {
     pub flash: OpCounters,
     /// GC statistics.
     pub ftl: FtlStats,
+    /// Host wall-clock time the replay took, in seconds (simulator
+    /// throughput, not simulated time).
+    pub host_elapsed_s: f64,
 }
 
 impl RunResult {
@@ -31,6 +35,26 @@ impl RunResult {
     /// of cache flushes during the trace (GC traffic reported separately).
     pub fn flash_user_writes(&self) -> u64 {
         self.flash.user_programs
+    }
+
+    /// Replay throughput in requests per host-second (0 when the run was
+    /// too fast to time).
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.host_elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.requests as f64 / self.host_elapsed_s
+    }
+}
+
+fn collect(cfg: &SimConfig, ssd: &Ssd, started: Instant) -> RunResult {
+    RunResult {
+        policy: cfg.policy.name().to_string(),
+        cache_pages: cfg.cache_pages,
+        metrics: ssd.metrics().clone(),
+        flash: *ssd.flash_counters(),
+        ftl: *ssd.ftl_stats(),
+        host_elapsed_s: started.elapsed().as_secs_f64(),
     }
 }
 
@@ -43,25 +67,26 @@ pub fn run_trace<I>(cfg: &SimConfig, trace: I) -> RunResult
 where
     I: IntoIterator<Item = Request>,
 {
-    run_trace_probed(cfg, trace, &mut [])
+    run_trace_recorded(cfg, trace, &mut NoopRecorder)
 }
 
-/// [`run_trace`] plus probe instrumentation.
-pub fn run_trace_probed<I>(cfg: &SimConfig, trace: I, probes: &mut [&mut dyn Probe]) -> RunResult
+/// [`run_trace`] with the event stream mirrored into `rec` (page events,
+/// flush-wait spans, periodic samples per [`SimConfig::sampling`], and the
+/// end-of-run counter/gauge rollup). The recorder is generic so the plain
+/// [`run_trace`] path monomorphizes with [`NoopRecorder`] and compiles the
+/// instrumentation out entirely.
+pub fn run_trace_recorded<I, R>(cfg: &SimConfig, trace: I, rec: &mut R) -> RunResult
 where
     I: IntoIterator<Item = Request>,
+    R: Recorder + ?Sized,
 {
+    let started = Instant::now();
     let mut ssd = Ssd::new(cfg.clone());
     for req in trace {
-        ssd.submit_probed(&req, probes);
+        ssd.submit_recorded(&req, rec);
     }
-    RunResult {
-        policy: cfg.policy.name().to_string(),
-        cache_pages: cfg.cache_pages,
-        metrics: ssd.metrics().clone(),
-        flash: *ssd.flash_counters(),
-        ftl: *ssd.ftl_stats(),
-    }
+    ssd.finish_recording(rec);
+    collect(cfg, &ssd, started)
 }
 
 /// [`run_trace`] followed by a full cache drain.
@@ -69,18 +94,13 @@ pub fn run_trace_drained<I>(cfg: &SimConfig, trace: I) -> RunResult
 where
     I: IntoIterator<Item = Request>,
 {
+    let started = Instant::now();
     let mut ssd = Ssd::new(cfg.clone());
     for req in trace {
         ssd.submit(&req);
     }
     ssd.drain_cache();
-    RunResult {
-        policy: cfg.policy.name().to_string(),
-        cache_pages: cfg.cache_pages,
-        metrics: ssd.metrics().clone(),
-        flash: *ssd.flash_counters(),
-        ftl: *ssd.ftl_stats(),
-    }
+    collect(cfg, &ssd, started)
 }
 
 /// Where a job's requests come from.
@@ -126,26 +146,23 @@ impl TraceSource {
 /// Replay a [`TraceSource`] through a fresh device without materializing the
 /// request stream.
 pub fn run_source(cfg: &SimConfig, source: &TraceSource) -> RunResult {
-    run_source_probed(cfg, source, &mut [])
+    run_source_recorded(cfg, source, &mut NoopRecorder)
 }
 
-/// [`run_source`] plus probe instrumentation.
-pub fn run_source_probed(
+/// [`run_source`] with the event stream mirrored into `rec` (see
+/// [`run_trace_recorded`]).
+pub fn run_source_recorded<R: Recorder + ?Sized>(
     cfg: &SimConfig,
     source: &TraceSource,
-    probes: &mut [&mut dyn Probe],
+    rec: &mut R,
 ) -> RunResult {
+    let started = Instant::now();
     let mut ssd = Ssd::new(cfg.clone());
     source.for_each_request(|req| {
-        ssd.submit_probed(&req, probes);
+        ssd.submit_recorded(&req, rec);
     });
-    RunResult {
-        policy: cfg.policy.name().to_string(),
-        cache_pages: cfg.cache_pages,
-        metrics: ssd.metrics().clone(),
-        flash: *ssd.flash_counters(),
-        ftl: *ssd.ftl_stats(),
-    }
+    ssd.finish_recording(rec);
+    collect(cfg, &ssd, started)
 }
 
 /// One entry of an experiment grid: a labelled (config, workload) pair.
@@ -170,7 +187,9 @@ impl Job {
 
 /// Run a grid of jobs on up to `threads` worker threads (std scoped threads;
 /// traces stream inside the worker, never materialized). Results keep job
-/// order.
+/// order. Each result carries its own host wall-clock duration
+/// ([`RunResult::host_elapsed_s`]), so grid summaries can report per-job
+/// replay throughput.
 ///
 /// Each worker writes its result into a dedicated per-job slot — no mutex,
 /// no label cloning on the hot path. If any worker panics, the panic is
@@ -224,8 +243,9 @@ pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<(String, RunResult)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheSizeMb, PolicyKind};
+    use crate::config::{CacheSizeMb, PolicyKind, SampleInterval};
     use reqblock_core::ReqBlockConfig;
+    use reqblock_obs::MemoryRecorder;
     use reqblock_trace::profiles::ts_0;
 
     fn mini_profile() -> WorkloadProfile {
@@ -240,6 +260,8 @@ mod tests {
         assert_eq!(res.metrics.requests, mini_profile().requests);
         assert!(res.metrics.hit_ratio() > 0.0, "ts_0-like reuse must hit");
         assert!(res.metrics.avg_response_ms() > 0.0);
+        assert!(res.host_elapsed_s > 0.0, "replay must take measurable time");
+        assert!(res.requests_per_sec() > 0.0);
     }
 
     #[test]
@@ -249,6 +271,20 @@ mod tests {
         let b = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.flash, b.flash);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_captures_series() {
+        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+            .with_sampling(SampleInterval::Requests(500));
+        let plain = run_trace(&cfg, SyntheticTrace::new(mini_profile()));
+        let mut rec = MemoryRecorder::default();
+        let recorded = run_trace_recorded(&cfg, SyntheticTrace::new(mini_profile()), &mut rec);
+        assert_eq!(plain.metrics, recorded.metrics, "recording must not change the model");
+        assert_eq!(plain.flash, recorded.flash);
+        assert_eq!(rec.counter_value("requests"), recorded.metrics.requests);
+        let pts = rec.series_points("hit_ratio");
+        assert!(pts.len() >= 3, "expected >= 3 samples, got {}", pts.len());
     }
 
     #[test]
@@ -274,6 +310,7 @@ mod tests {
         for (job, (label, res)) in jobs.iter().zip(&results) {
             assert_eq!(&job.label, label);
             assert_eq!(res.policy, job.cfg.policy.name());
+            assert!(res.host_elapsed_s > 0.0, "per-job wall clock must be kept");
         }
     }
 

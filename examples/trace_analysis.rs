@@ -9,9 +9,10 @@
 //! setup) with the Figure 2/3 probes attached and prints the insert/hit
 //! CDFs plus the large-request reuse split.
 
+use reqblock::obs::Fanout;
 use reqblock::prelude::*;
-use reqblock::sim::probes::{LargeReqHitProbe, Probe, SizeCdfProbe};
-use reqblock::sim::run_trace_probed;
+use reqblock::sim::probes::{LargeReqHitProbe, SizeCdfProbe};
+use reqblock::sim::run_trace_recorded;
 use reqblock::trace::profiles::profile_by_name;
 use reqblock::trace::stats::StatsBuilder;
 
@@ -42,8 +43,10 @@ fn main() {
     let mut cdf = SizeCdfProbe::new();
     let mut large = LargeReqHitProbe::new(threshold);
     {
-        let mut probes: [&mut dyn Probe; 2] = [&mut cdf, &mut large];
-        run_trace_probed(&cfg, SyntheticTrace::new(profile), &mut probes);
+        let mut fan = Fanout::new();
+        fan.push(&mut cdf);
+        fan.push(&mut large);
+        run_trace_recorded(&cfg, SyntheticTrace::new(profile), &mut fan);
     }
     large.finish();
 

@@ -1,22 +1,31 @@
 #!/usr/bin/env bash
-# Hot-path regression gate: build release, replay the hotpath bench, and
-# compare requests/sec per policy against the committed BENCH_hotpath.json
-# ("after" numbers). Fails loudly on a >20% regression.
+# Hot-path regression gates: build release, replay the hotpath bench, and
+# compare requests/sec per policy against the committed BENCH_hotpath.json.
 #
-# Usage: scripts/bench.sh [--scale S] [--repeats N]
+#   gate 1 (tolerance 20%): no-op-recorder requests/sec vs the committed
+#           "obs" baseline — catches genuine hot-path regressions.
+#   gate 2 (tolerance 2%):  same comparison, tight — catches the
+#           observability layer growing a cost on the disabled path. The
+#           2% bar is below the noise floor of a busy machine, so this
+#           gate retries (keeping the best per policy across attempts)
+#           and MUST be run on an otherwise idle box to be meaningful.
 #
-# Numbers are wall-clock on whatever machine runs this, so run it on an
-# otherwise idle box; the committed baseline was taken on an idle
-# single-vCPU container.
+# Usage: scripts/bench.sh [--scale S] [--repeats N] [--attempts N]
+#        NOOP_TOLERANCE=0.02 REGRESSION_TOLERANCE=0.20 scripts/bench.sh
+#
+# Numbers are wall-clock on whatever machine runs this; the committed
+# baseline was taken on a single-vCPU container.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE=0.25
 REPEATS=5
+ATTEMPTS=3
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --scale) SCALE="$2"; shift 2 ;;
         --repeats) REPEATS="$2"; shift 2 ;;
+        --attempts) ATTEMPTS="$2"; shift 2 ;;
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
@@ -24,25 +33,42 @@ done
 echo "== building release bench =="
 cargo build --release -p reqblock-bench --bin hotpath
 
-OUT=$(mktemp /tmp/hotpath.XXXXXX.json)
-trap 'rm -f "$OUT"' EXIT
-
-echo "== replaying ts_0 x$SCALE ($REPEATS repeats per policy) =="
-./target/release/hotpath --scale "$SCALE" --repeats "$REPEATS" --out "$OUT"
+OUTS=()
+for ((i = 1; i <= ATTEMPTS; i++)); do
+    OUT=$(mktemp /tmp/hotpath.XXXXXX.json)
+    OUTS+=("$OUT")
+    echo "== replaying ts_0 x$SCALE ($REPEATS repeats per policy, attempt $i/$ATTEMPTS) =="
+    ./target/release/hotpath --scale "$SCALE" --repeats "$REPEATS" --out "$OUT"
+done
+trap 'rm -f "${OUTS[@]}"' EXIT
 
 echo "== comparing against committed BENCH_hotpath.json =="
-python3 - "$OUT" <<'PY'
+python3 - "${OUTS[@]}" <<'PY'
 import json
+import os
 import sys
 
-TOLERANCE = 0.20  # fail on >20% regression vs the committed numbers
+# Gate 1: real hot-path regressions. Gate 2: the disabled observability
+# layer must stay (near-)free; 2% is the acceptance bar from the obs PR.
+REGRESSION_TOL = float(os.environ.get("REGRESSION_TOLERANCE", "0.20"))
+NOOP_TOL = float(os.environ.get("NOOP_TOLERANCE", "0.02"))
 
-with open(sys.argv[1]) as f:
-    current = {p["name"]: p["requests_per_sec"] for p in json.load(f)["policies"]}
+# Best req/s per policy across all attempts: the minimum over repeats and
+# attempts is the least-noisy estimate a shared machine can give.
+current = {}
+overhead = {}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        run = json.load(f)
+    for p in run["policies"]:
+        current[p["name"]] = max(current.get(p["name"], 0.0), p["requests_per_sec"])
+    for o in run.get("recording_overhead_pct", []):
+        overhead.setdefault(o["name"], []).append(o["pct"])
+
 with open("BENCH_hotpath.json") as f:
     committed = {
         p["name"]: p["requests_per_sec"]
-        for p in json.load(f)["after"]["policies"]
+        for p in json.load(f)["obs"]["policies"]
     }
 
 failed = False
@@ -53,12 +79,18 @@ for name, base in sorted(committed.items()):
         failed = True
         continue
     ratio = now / base
-    verdict = "ok"
-    if ratio < 1.0 - TOLERANCE:
-        verdict = f"FAIL (>{TOLERANCE:.0%} regression)"
+    if ratio < 1.0 - REGRESSION_TOL:
+        verdict = f"FAIL (>{REGRESSION_TOL:.0%} hot-path regression)"
         failed = True
+    elif ratio < 1.0 - NOOP_TOL:
+        verdict = f"FAIL (no-op recorder overhead >{NOOP_TOL:.0%} vs committed baseline)"
+        failed = True
+    else:
+        verdict = "ok"
+    pcts = overhead.get(name, [])
+    rec = f", recording overhead {min(pcts):+.1f}%..{max(pcts):+.1f}%" if pcts else ""
     print(f"{name}: {now:,.0f} req/s vs committed {base:,.0f} "
-          f"({ratio:.2f}x) {verdict}")
+          f"({ratio:.2f}x) {verdict}{rec}")
 
 sys.exit(1 if failed else 0)
 PY

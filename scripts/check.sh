@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, every test, clippy with warnings
+# denied, and the hot-path benchmark gates (including the <2% no-op
+# recorder overhead check) from scripts/bench.sh.
+#
+# Usage: scripts/check.sh [--no-bench]
+#
+# The bench step measures wall-clock and needs an otherwise idle machine;
+# --no-bench skips it for correctness-only runs (CI boxes under load).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=1
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --no-bench) RUN_BENCH=0; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo clippy (warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+    scripts/bench.sh
+else
+    echo "== bench gates skipped (--no-bench) =="
+fi
+
+echo "== all checks passed =="

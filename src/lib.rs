@@ -10,6 +10,7 @@
 //! * [`ftl`] — page-level FTL with greedy garbage collection.
 //! * [`cache`] — DRAM write-buffer framework and baseline policies.
 //! * [`core`] — the paper's contribution: the Req-block policy.
+//! * [`obs`] — observability: recorders, histograms, JSONL telemetry.
 //! * [`sim`] — the trace-driven simulator tying everything together.
 //!
 //! ## Quickstart
@@ -31,6 +32,7 @@ pub use reqblock_cache as cache;
 pub use reqblock_core as core;
 pub use reqblock_flash as flash;
 pub use reqblock_ftl as ftl;
+pub use reqblock_obs as obs;
 pub use reqblock_sim as sim;
 pub use reqblock_trace as trace;
 
@@ -39,7 +41,8 @@ pub mod prelude {
     pub use reqblock_cache::{EvictionBatch, Placement, WriteBuffer};
     pub use reqblock_core::{ReqBlock, ReqBlockConfig};
     pub use reqblock_flash::SsdConfig;
-    pub use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SimConfig};
+    pub use reqblock_obs::{MemoryRecorder, NoopRecorder, Recorder};
+    pub use reqblock_sim::{run_trace, CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
     pub use reqblock_trace::{
         paper_profiles, OpType, Request, SyntheticTrace, TraceStats, WorkloadProfile, PAGE_SIZE,
     };

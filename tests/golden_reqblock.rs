@@ -128,6 +128,7 @@ fn reqblock_golden_pressured_device_with_gc() {
         cache_pages: 64,
         policy: PolicyKind::ReqBlock(ReqBlockConfig::paper()),
         overhead_sample_every: 1_000,
+        sampling: reqblock::sim::SampleInterval::Off,
     };
     let source = TraceSource::Synthetic(ts_0().scaled(0.01));
     let got = run_twice(&cfg, &source);
