@@ -11,11 +11,11 @@
 //! | [`policies::lru::LruCache`] | page | LRU page | baseline (§4.1) |
 //! | [`policies::fifo::FifoCache`] | page | FIFO page | related work (§2.1) |
 //! | [`policies::lfu::LfuCache`] | page | least-frequently-used | related work (§2.1) |
-//! | [`policies::cflru::CflruCache`] | page | clean-first LRU [9] | related work (§2.1) |
-//! | [`policies::fab::FabCache`] | flash block | largest group [19] | related work (§2.1) |
-//! | [`policies::pudlru::PudLruCache`] | flash block | largest predicted update distance [21] | related work (§2.1) |
-//! | [`policies::bplru::BplruCache`] | flash block | block LRU + seq demotion [15] | compared baseline |
-//! | [`policies::vbbms::VbbmsCache`] | virtual block | split random/seq regions [16] | compared baseline |
+//! | [`policies::cflru::CflruCache`] | page | clean-first LRU \[9\] | related work (§2.1) |
+//! | [`policies::fab::FabCache`] | flash block | largest group \[19\] | related work (§2.1) |
+//! | [`policies::pudlru::PudLruCache`] | flash block | largest predicted update distance \[21\] | related work (§2.1) |
+//! | [`policies::bplru::BplruCache`] | flash block | block LRU + seq demotion \[15\] | compared baseline |
+//! | [`policies::vbbms::VbbmsCache`] | virtual block | split random/seq regions \[16\] | compared baseline |
 //!
 //! The paper's own policy (Req-block) lives in the sibling crate
 //! `reqblock-core` and implements the same [`WriteBuffer`] trait.

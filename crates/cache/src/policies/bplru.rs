@@ -1,4 +1,4 @@
-//! BPLRU — Block Padding LRU (Kim & Ahn [15]; compared baseline §4.1).
+//! BPLRU — Block Padding LRU (Kim & Ahn \[15\]; compared baseline §4.1).
 //!
 //! BPLRU manages the write buffer at flash-block granularity (64 pages):
 //!

@@ -1,4 +1,4 @@
-//! CFLRU — Clean-First LRU (Park et al. [9]; related work §2.1).
+//! CFLRU — Clean-First LRU (Park et al. \[9\]; related work §2.1).
 //!
 //! CFLRU divides the LRU list into a *working region* (MRU side) and a
 //! *clean-first region* (LRU side, `window_fraction` of capacity). On

@@ -1,4 +1,4 @@
-//! FAB — Flash-Aware Buffer (Jo et al. [19]; related work §2.1).
+//! FAB — Flash-Aware Buffer (Jo et al. \[19\]; related work §2.1).
 //!
 //! FAB clusters cached pages by the flash block they map to (64 pages) and,
 //! when space is needed, evicts the **group holding the most pages** (ties

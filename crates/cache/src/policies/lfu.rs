@@ -2,7 +2,7 @@
 //!
 //! Victim = page with the lowest access frequency; ties broken by age
 //! (earlier insertion evicted first), which makes the policy a member of the
-//! LRFU spectrum the paper cites [24]. Frequencies count both read and write
+//! LRFU spectrum the paper cites \[24\]. Frequencies count both read and write
 //! hits. Metadata: a page node plus a counter (16 B).
 
 use crate::overhead::LFU_NODE_BYTES;

@@ -1,4 +1,4 @@
-//! PUD-LRU — Predicted-Update-Distance LRU (Hu et al. [21]; related work
+//! PUD-LRU — Predicted-Update-Distance LRU (Hu et al. \[21\]; related work
 //! §2.1: "SSD block-level cache management approaches including FAB, BPLRU,
 //! and PUD-LRU have been proposed to better exploit spatial locality").
 //!

@@ -1,4 +1,4 @@
-//! VBBMS — Virtual-Block-based Buffer Management Scheme (Du et al. [16];
+//! VBBMS — Virtual-Block-based Buffer Management Scheme (Du et al. \[16\];
 //! compared baseline §4.1).
 //!
 //! VBBMS splits the buffer into a **random-request region** and a

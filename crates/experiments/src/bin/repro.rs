@@ -15,6 +15,8 @@
 //!   tails       extension: response-time percentiles per policy
 //!   wear        extension: GC activity and write amplification
 //!   ablations   extension: Req-block design-choice ablations (A1-A4)
+//!   faults      extension: seeded fault-rate sweep (retries, bad blocks,
+//!               remapped pages, device health)
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
@@ -34,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|telemetry|export|all>"
+          tails|wear|ablations|faults|telemetry|export|all>"
     );
     std::process::exit(2);
 }
@@ -167,6 +169,7 @@ fn main() -> ExitCode {
         "tails" => emit(&opts, "tails", &[extensions::tails(&opts)]),
         "wear" => emit(&opts, "wear", &[extensions::wear(&opts)]),
         "ablations" => emit(&opts, "ablations", &[extensions::ablations(&opts)]),
+        "faults" => emit(&opts, "faults", &[extensions::fault_sweep(&opts)]),
         cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
             let trace = cmd.strip_prefix("telemetry").unwrap().trim();
             let trace = if trace.is_empty() { "ts_0" } else { trace };
@@ -205,6 +208,7 @@ fn main() -> ExitCode {
             emit(&opts, "tails", &[extensions::tails(&opts)]);
             emit(&opts, "wear", &[extensions::wear(&opts)]);
             emit(&opts, "ablations", &[extensions::ablations(&opts)]);
+            emit(&opts, "faults", &[extensions::fault_sweep(&opts)]);
             run_telemetry(&opts, "ts_0");
         }
         _ => usage(),

@@ -6,12 +6,17 @@
 //!   policy over a cache-pressure workload.
 //! * [`ablations`] — what each Req-block design choice buys (DESIGN.md
 //!   A1-A4), measured head-to-head.
+//! * [`fault_sweep`] — reliability: the same run replayed under rising
+//!   seeded fault rates (read/program/erase), reporting retries, retired
+//!   bad blocks, remapped pages and the device health outcome.
 
 use crate::figures::Opts;
 use crate::report::{f2, f3, Table};
 use reqblock_cache::policies::BplruConfig;
 use reqblock_core::{PriorityModel, ReqBlockConfig};
-use reqblock_sim::{run_jobs, CacheSizeMb, Job, PolicyKind, SimConfig, TraceSource};
+use reqblock_sim::{
+    run_jobs, CacheSizeMb, FaultConfig, Job, PolicyKind, SampleInterval, SimConfig, TraceSource,
+};
 
 /// Percentile columns reported by [`tails`].
 pub const TAIL_QUANTILES: [(f64, &str); 4] =
@@ -145,6 +150,84 @@ pub fn ablations(opts: &Opts) -> Table {
     t
 }
 
+/// Per-op fault rates (parts per million) swept by [`fault_sweep`]. The
+/// same rate is applied to reads, programs, and erases at each step.
+pub const FAULT_SWEEP_PPM: [u32; 4] = [0, 500, 2_000, 10_000];
+
+/// Reliability extension: one workload replayed under rising fault rates.
+///
+/// Replays a `ts_0` slice through the Req-block policy on a deliberately
+/// tight flash array (~115% of the write footprint, like the pressured
+/// golden run) so garbage collection — and therefore erase faults and
+/// block retirement — actually fire. Every run uses the same
+/// [`FaultConfig`] seed, so the table is reproducible bit-for-bit; the
+/// zero-ppm row doubles as a control that matches a fault-free device.
+pub fn fault_sweep(opts: &Opts) -> Table {
+    let mut t = Table::new(
+        "Extension - Fault-rate sweep (Req-block, pressured device, fixed seed)",
+        &[
+            "Fault ppm",
+            "Read retries",
+            "Uncorrectable",
+            "Program fails",
+            "Erase fails",
+            "Bad blocks",
+            "Remapped pages",
+            "Rejected pages",
+            "Health",
+            "Avg resp (ms)",
+        ],
+    );
+    let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
+    // Two-chip device sized to ~115% of the logical footprint (write
+    // streams plus the cold-read region): small enough that the append
+    // stream cycles the free-block pool and GC erases fire, so erase
+    // faults and block retirement are exercised alongside program faults.
+    let mut ssd = reqblock_flash::SsdConfig::paper();
+    ssd.channels = 2;
+    ssd.chips_per_channel = 1;
+    let block_pages = ssd.total_chips() as u64 * ssd.pages_per_block as u64;
+    let footprint = profile.streaming_pages + profile.cold_read_extra_pages;
+    let want_pages = (footprint as f64 * 1.15) as u64;
+    ssd.capacity_bytes = want_pages.div_ceil(block_pages).max(8) * block_pages * ssd.page_size;
+    let jobs: Vec<Job> = FAULT_SWEEP_PPM
+        .into_iter()
+        .map(|ppm| Job {
+            label: ppm.to_string(),
+            cfg: SimConfig {
+                ssd: ssd.clone(),
+                cache_pages: 64,
+                policy: PolicyKind::ReqBlock(ReqBlockConfig::paper()),
+                overhead_sample_every: 1_000,
+                sampling: SampleInterval::Off,
+                fault: FaultConfig {
+                    read_fail_ppm: ppm,
+                    program_fail_ppm: ppm,
+                    erase_fail_ppm: ppm,
+                    ..FaultConfig::default()
+                },
+            },
+            source: TraceSource::Synthetic(profile.clone()),
+        })
+        .collect();
+    for (label, r) in run_jobs(&jobs, opts.threads) {
+        let f = &r.faults;
+        t.push_row(vec![
+            label,
+            f.read_retries.to_string(),
+            f.read_uncorrectable.to_string(),
+            f.program_failures.to_string(),
+            f.erase_failures.to_string(),
+            f.retired_blocks.to_string(),
+            f.remapped_pages.to_string(),
+            f.rejected_write_pages.to_string(),
+            format!("{:?}", r.health),
+            f3(r.metrics.avg_response_ms()),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +264,29 @@ mod tests {
     fn ablations_cover_all_variants() {
         let t = ablations(&tiny_opts());
         assert_eq!(t.rows.len(), ablation_variants().len() * 2);
+    }
+
+    #[test]
+    fn fault_sweep_zero_row_is_clean_and_faulty_rows_fault() {
+        let t = fault_sweep(&tiny_opts());
+        assert_eq!(t.rows.len(), FAULT_SWEEP_PPM.len());
+        let zero = &t.rows[0];
+        assert_eq!(zero[0], "0");
+        for cell in &zero[1..8] {
+            assert_eq!(cell, "0", "zero-ppm control must report no faults: {zero:?}");
+        }
+        assert_eq!(zero[8], "Healthy");
+        // The highest rate (1%) over thousands of flash ops must observe
+        // at least one fault; the run is seeded, so this is deterministic.
+        let hot = t.rows.last().unwrap();
+        let total: u64 = hot[1..8].iter().map(|c| c.parse::<u64>().unwrap()).sum();
+        assert!(total > 0, "1% fault rate never fired: {hot:?}");
+    }
+
+    #[test]
+    fn fault_sweep_is_reproducible() {
+        let a = fault_sweep(&tiny_opts());
+        let b = fault_sweep(&tiny_opts());
+        assert_eq!(a.rows, b.rows, "same seed + config must give identical tables");
     }
 }

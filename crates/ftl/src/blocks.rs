@@ -2,9 +2,11 @@
 //!
 //! Each chip owns `blocks_per_chip` blocks. A block is either **free**
 //! (erased, on the free list), **active** (the chip's current append point),
-//! or **full** (append pointer exhausted; candidate for GC once pages turn
-//! invalid). Valid pages are tracked in a per-block `u64` bitmap, which is
-//! why the simulator caps `pages_per_block` at 64 (the paper's value).
+//! **full** (append pointer exhausted; candidate for GC once pages turn
+//! invalid), or **bad** (retired after a program/erase failure; permanently
+//! out of rotation). Valid pages are tracked in a per-block `u64` bitmap,
+//! which is why the simulator caps `pages_per_block` at 64 (the paper's
+//! value).
 
 use reqblock_flash::SsdConfig;
 
@@ -17,6 +19,10 @@ pub enum BlockState {
     Active,
     /// All pages programmed at least once since the last erase.
     Full,
+    /// Retired after a program or erase failure; never allocated, GC'd or
+    /// erased again. Bad blocks permanently shrink the chip's
+    /// overprovisioning.
+    Bad,
 }
 
 /// Metadata of one physical block.
@@ -57,6 +63,8 @@ pub struct ChipBlocks {
     free: Vec<u32>,
     /// Current append block, if one is open.
     active: Option<u32>,
+    /// Blocks retired as bad (cached count; the states are authoritative).
+    bad: usize,
     pages_per_block: u16,
 }
 
@@ -69,6 +77,7 @@ impl ChipBlocks {
             // Pop from the back; seed in reverse so block 0 is used first.
             free: (0..n as u32).rev().collect(),
             active: None,
+            bad: 0,
             pages_per_block: cfg.pages_per_block as u16,
         }
     }
@@ -142,11 +151,52 @@ impl ChipBlocks {
         meta.invalid_count()
     }
 
+    /// Blocks retired as bad so far.
+    #[inline]
+    pub fn bad_count(&self) -> usize {
+        self.bad
+    }
+
+    /// Blocks still in rotation (total minus bad) — the denominator for
+    /// overprovisioning/GC-floor math once retirements shrink the pool.
+    #[inline]
+    pub fn usable_count(&self) -> usize {
+        self.blocks.len() - self.bad
+    }
+
+    /// Close `block` if it is the chip's current append point, so no
+    /// further pages are allocated from it (pre-retirement: the caller is
+    /// about to migrate data off a failing block and must not land new
+    /// writes on it).
+    pub fn close_active(&mut self, block: u32) {
+        if self.active == Some(block) {
+            self.blocks[block as usize].state = BlockState::Full;
+            self.active = None;
+        }
+    }
+
+    /// Retire `block` as bad after a program or erase failure: it leaves
+    /// the allocation rotation permanently (never returned to the free
+    /// list, skipped by GC victim validation via its state). The caller
+    /// must have migrated or invalidated all its valid pages first.
+    pub fn retire(&mut self, block: u32) {
+        if self.active == Some(block) {
+            self.active = None;
+        }
+        let meta = &mut self.blocks[block as usize];
+        debug_assert_ne!(meta.state, BlockState::Free, "retiring a free block");
+        debug_assert_ne!(meta.state, BlockState::Bad, "double retire");
+        debug_assert_eq!(meta.valid, 0, "retiring a block with live pages");
+        meta.state = BlockState::Bad;
+        self.bad += 1;
+    }
+
     /// Erase `block`: clears its bitmap and append pointer, bumps wear, and
     /// returns it to the free list. The block must not be active.
     pub fn erase(&mut self, block: u32) {
         let meta = &mut self.blocks[block as usize];
         debug_assert_ne!(meta.state, BlockState::Free, "erasing a free block");
+        debug_assert_ne!(meta.state, BlockState::Bad, "erasing a retired block");
         debug_assert_ne!(Some(block), self.active, "erasing the active block");
         meta.valid = 0;
         meta.next_page = 0;
@@ -263,6 +313,55 @@ mod tests {
         assert_eq!(cb.live_pages(), 2);
         cb.invalidate(b0, p0);
         assert_eq!(cb.live_pages(), 1);
+    }
+
+    #[test]
+    fn retire_removes_block_from_rotation() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        // Fill one block and invalidate everything on it.
+        let mut block = None;
+        for _ in 0..8 {
+            let (b, p) = cb.allocate_page().unwrap();
+            block = Some(b);
+            cb.invalidate(b, p);
+        }
+        let b = block.unwrap();
+        let free_before = cb.free_count();
+        cb.retire(b);
+        assert_eq!(cb.meta(b).state, BlockState::Bad);
+        assert_eq!(cb.bad_count(), 1);
+        assert_eq!(cb.usable_count(), 31);
+        // Unlike erase, retirement does not replenish the free list.
+        assert_eq!(cb.free_count(), free_before);
+        // Wear is preserved (the block failed; it was not erased).
+        assert_eq!(cb.meta(b).erase_count, 0);
+    }
+
+    #[test]
+    fn retire_active_block_clears_append_point() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let (b, p) = cb.allocate_page().unwrap();
+        assert_eq!(cb.active_block(), Some(b));
+        cb.invalidate(b, p);
+        cb.retire(b);
+        assert_eq!(cb.active_block(), None);
+        // The next allocation opens a different block.
+        let (b2, _) = cb.allocate_page().unwrap();
+        assert_ne!(b2, b);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn erase_of_retired_block_panics_in_debug() {
+        let cfg = cfg();
+        let mut cb = ChipBlocks::new(&cfg);
+        let (b, p) = cb.allocate_page().unwrap();
+        cb.invalidate(b, p);
+        cb.retire(b);
+        cb.erase(b);
     }
 
     #[test]

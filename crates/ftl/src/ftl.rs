@@ -3,7 +3,7 @@
 use crate::blocks::{BlockState, ChipBlocks};
 use crate::gc::GreedyPicker;
 use reqblock_flash::timeline::Origin;
-use reqblock_flash::{FlashTimeline, SsdConfig};
+use reqblock_flash::{DegradedMode, FaultConfig, FaultModel, FaultStats, FlashTimeline, SsdConfig};
 use reqblock_trace::Lpn;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,20 @@ pub struct FtlObs {
     pub gc_busy_ns: u128,
     /// Longest single GC round (victim migration + erase), ns.
     pub gc_max_pause_ns: u64,
+}
+
+/// Device-level health under fault injection. The FTL degrades (rather
+/// than corrupting data or looping) when block retirements or capacity
+/// pressure leave a chip unable to honour new writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Health {
+    /// Normal operation.
+    #[default]
+    Healthy,
+    /// A chip's free blocks fell below [`FaultConfig::read_only_free_floor`]
+    /// (or a chip physically ran out of space while faults were active):
+    /// new host writes are rejected, reads are still served.
+    ReadOnly,
 }
 
 /// Sentinel for "unmapped" in the dense translation tables.
@@ -108,11 +122,24 @@ pub struct Ftl {
     cursor: usize,
     stats: FtlStats,
     obs: FtlObs,
+    /// Seeded fault decision engine (inert by default).
+    faults: FaultModel,
+    /// Reliability counters (retries, retirements, rejections).
+    fstats: FaultStats,
+    /// Degradation state; once `ReadOnly`, writes are rejected for good.
+    health: Health,
 }
 
 impl Ftl {
-    /// Build an FTL for `cfg` with an empty mapping.
+    /// Build an FTL for `cfg` with an empty mapping and no fault injection.
     pub fn new(cfg: &SsdConfig) -> Self {
+        Self::with_faults(cfg, FaultConfig::default())
+    }
+
+    /// Build an FTL for `cfg` with the given fault-injection configuration.
+    /// [`FaultConfig::default`] is zero-fault and behaves exactly like
+    /// [`Ftl::new`].
+    pub fn with_faults(cfg: &SsdConfig, faults: FaultConfig) -> Self {
         cfg.validate().expect("invalid SSD config");
         let total_pages = cfg.total_pages() as usize;
         assert!(total_pages < UNMAPPED as usize, "drive too large for u32 page indices");
@@ -126,6 +153,9 @@ impl Ftl {
             cfg: cfg.clone(),
             stats: FtlStats::default(),
             obs: FtlObs::default(),
+            faults: FaultModel::new(faults),
+            fstats: FaultStats::default(),
+            health: Health::default(),
         }
     }
 
@@ -142,6 +172,31 @@ impl Ftl {
     /// GC timing observability so far.
     pub fn obs(&self) -> &FtlObs {
         &self.obs
+    }
+
+    /// Reliability counters so far (all zero with the default fault config).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fstats
+    }
+
+    /// The fault-injection configuration this FTL runs with.
+    pub fn fault_config(&self) -> &FaultConfig {
+        self.faults.config()
+    }
+
+    /// Current device health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Has the device entered read-only degraded mode?
+    pub fn is_read_only(&self) -> bool {
+        self.health == Health::ReadOnly
+    }
+
+    /// Blocks retired as bad across all chips.
+    pub fn bad_blocks_total(&self) -> usize {
+        self.chips.iter().map(|c| c.blocks.bad_count()).sum()
     }
 
     /// Is `lpn` currently mapped to a physical page?
@@ -198,48 +253,79 @@ impl Ftl {
         )
     }
 
+    /// Invalidate the physical page `ppn` (which must be valid) and clear
+    /// its reverse mapping. Leaves `l2p` untouched — callers own the
+    /// forward mapping.
+    fn invalidate_ppn(&mut self, ppn: u32) {
+        let chip = self.chip_of_ppn(ppn);
+        let (block, page) = self.block_page_of_ppn(ppn);
+        let domain = &mut self.chips[chip];
+        let inv = domain.blocks.invalidate(block, page);
+        if domain.blocks.meta(block).state == BlockState::Full {
+            domain.picker.note(block, inv);
+        }
+        self.p2l.set(ppn as usize, UNMAPPED);
+    }
+
     /// Invalidate the physical page currently backing `lpn`, if any.
     fn invalidate_lpn(&mut self, lpn: Lpn) {
         let old = self.l2p.get(lpn as usize);
         if old == UNMAPPED {
             return;
         }
-        let chip = self.chip_of_ppn(old);
-        let (block, page) = self.block_page_of_ppn(old);
-        let domain = &mut self.chips[chip];
-        let inv = domain.blocks.invalidate(block, page);
-        if domain.blocks.meta(block).state == BlockState::Full {
-            domain.picker.note(block, inv);
-        }
-        self.p2l.set(old as usize, UNMAPPED);
+        self.invalidate_ppn(old);
         self.l2p.set(lpn as usize, UNMAPPED);
     }
 
-    /// Allocate a physical page on `chip` and record the `lpn` mapping.
-    /// Panics if the chip is out of space even after GC had its chance —
-    /// that means the live data set exceeds physical capacity.
-    fn allocate_mapped(&mut self, chip: usize, lpn: Lpn) -> (u32, u16) {
+    /// Allocate the next physical page on `chip` without mapping it, or
+    /// `None` if the chip is out of space even after GC had its chance.
+    fn try_allocate_raw(&mut self, chip: usize) -> Option<(u32, u16)> {
         let domain = &mut self.chips[chip];
-        let (block, page) = domain
-            .blocks
-            .allocate_page()
-            .expect("flash chip out of space: live data exceeds physical capacity");
+        let (block, page) = domain.blocks.allocate_page()?;
         // If the allocation sealed the block and earlier pages of it were
         // already invalidated, make sure the picker knows about it.
         let meta = domain.blocks.meta(block);
         if meta.state == BlockState::Full && meta.invalid_count() > 0 {
             domain.picker.note(block, meta.invalid_count());
         }
+        Some((block, page))
+    }
+
+    /// Allocate a physical page on `chip` and record the `lpn` mapping, or
+    /// `None` if the chip is out of space even after GC had its chance.
+    fn try_allocate_mapped(&mut self, chip: usize, lpn: Lpn) -> Option<(u32, u16)> {
+        let (block, page) = self.try_allocate_raw(chip)?;
         let ppn = self.ppn_of(chip, block, page);
         self.l2p.set(lpn as usize, ppn);
         self.p2l.set(ppn as usize, lpn as u32);
-        (block, page)
+        Some((block, page))
+    }
+
+    /// Allocate a physical page on `chip` and record the `lpn` mapping.
+    /// Panics if the chip is out of space even after GC had its chance —
+    /// that means the live data set exceeds physical capacity.
+    fn allocate_mapped(&mut self, chip: usize, lpn: Lpn) -> (u32, u16) {
+        self.try_allocate_mapped(chip, lpn)
+            .expect("flash chip out of space: live data exceeds physical capacity")
+    }
+
+    /// The free-block count GC defends on `chip`. Identical to
+    /// [`SsdConfig::gc_free_blocks_floor`] until blocks retire; afterwards
+    /// the threshold applies to the *usable* (non-bad) block count, so a
+    /// shrinking pool keeps the same proportional overprovisioning instead
+    /// of GC-ing ever harder against an unreachable absolute target.
+    fn gc_floor(&self, chip: usize) -> usize {
+        let blocks = &self.chips[chip].blocks;
+        if blocks.bad_count() == 0 {
+            return self.cfg.gc_free_blocks_floor();
+        }
+        ((blocks.usable_count() as f64) * self.cfg.gc_threshold).ceil() as usize
     }
 
     /// Run GC on `chip` until its free-block count is back above the
     /// threshold or no block can be reclaimed.
     fn maybe_gc(&mut self, chip: usize, at: u64, tl: &mut FlashTimeline) {
-        let floor = self.cfg.gc_free_blocks_floor();
+        let floor = self.gc_floor(chip);
         while self.chips[chip].blocks.free_count() < floor {
             if !self.gc_once(chip, at, tl) {
                 break;
@@ -268,34 +354,152 @@ impl Ftl {
             let src_ppn = self.ppn_of(chip, victim, page);
             let lpn = self.p2l.get(src_ppn as usize);
             debug_assert_ne!(lpn, UNMAPPED, "valid page without reverse mapping");
+            // Allocate the destination before dropping the source, so an
+            // exhausted chip degrades without losing the page.
+            let Some((nb, np)) = self.try_allocate_raw(chip) else {
+                if self.faults.is_inert() {
+                    panic!("flash chip out of space: live data exceeds physical capacity");
+                }
+                self.degrade("no space left to migrate a GC victim");
+                return false;
+            };
             let rd = tl.read(&self.cfg, chip, at, Origin::Gc);
             round_busy_ns += (rd.end_ns - rd.start_ns) as u128;
-            // Invalidate the source, then rewrite within the chip.
+            let dst_ppn = self.ppn_of(chip, nb, np);
             self.chips[chip].blocks.invalidate(victim, page);
             self.p2l.set(src_ppn as usize, UNMAPPED);
-            self.l2p.set(lpn as usize, UNMAPPED);
-            self.allocate_mapped(chip, lpn as Lpn);
+            self.p2l.set(dst_ppn as usize, lpn);
+            self.l2p.set(lpn as usize, dst_ppn);
             let pr = tl.program(&self.cfg, chip, at, Origin::Gc);
             round_busy_ns += (pr.end_ns - pr.start_ns) as u128;
+            self.stats.gc_migrated_pages += 1;
         }
         let er = tl.erase(&self.cfg, chip, at);
         round_busy_ns += (er.end_ns - er.start_ns) as u128;
-        self.stats.gc_migrated_pages += valid_bitmap.count_ones() as u64;
         self.obs.gc_busy_ns += round_busy_ns;
         self.obs.gc_max_pause_ns = self.obs.gc_max_pause_ns.max(round_busy_ns as u64);
-        self.chips[chip].blocks.erase(victim);
+        let wear = self.chips[chip].blocks.meta(victim).erase_count;
+        if self.faults.erase_fails(wear) {
+            // The erase was attempted (and charged to the timeline) but the
+            // block failed to clear: retire it instead of recycling it. Its
+            // valid pages were already migrated, so no data is at risk —
+            // but the free list does not grow.
+            self.fstats.erase_failures += 1;
+            self.chips[chip].blocks.retire(victim);
+            self.fstats.retired_blocks += 1;
+            self.refresh_health();
+        } else {
+            self.chips[chip].blocks.erase(victim);
+            self.stats.gc_erased_blocks += 1;
+        }
         self.stats.gc_runs += 1;
-        self.stats.gc_erased_blocks += 1;
         true
+    }
+
+    /// Migrate every remaining valid page off `block` (within the chip),
+    /// then mark the block bad. Migration traffic is charged to the
+    /// timelines as GC-origin reads/programs; it is exempt from further
+    /// fault checks so failure handling cannot recurse. If the chip runs
+    /// out of space mid-migration the block is *not* retired: its
+    /// unmigrated pages stay where they are (still readable) and the
+    /// device degrades instead of losing data.
+    fn retire_block(&mut self, chip: usize, block: u32, at: u64, tl: &mut FlashTimeline) {
+        // Stop allocating from the failing block before rewriting onto it.
+        self.chips[chip].blocks.close_active(block);
+        let valid_bitmap = self.chips[chip].blocks.meta(block).valid;
+        for page in 0..self.cfg.pages_per_block as u16 {
+            if valid_bitmap & (1u64 << page) == 0 {
+                continue;
+            }
+            let src_ppn = self.ppn_of(chip, block, page);
+            let lpn = self.p2l.get(src_ppn as usize);
+            debug_assert_ne!(lpn, UNMAPPED, "valid page without reverse mapping");
+            let Some((nb, np)) = self.try_allocate_raw(chip) else {
+                self.degrade("no space left to migrate off a failing block");
+                return;
+            };
+            tl.read(&self.cfg, chip, at, Origin::Gc);
+            // New copy is safe; move the mapping and drop the old page.
+            let dst_ppn = self.ppn_of(chip, nb, np);
+            self.chips[chip].blocks.invalidate(block, page);
+            self.p2l.set(src_ppn as usize, UNMAPPED);
+            self.p2l.set(dst_ppn as usize, lpn);
+            self.l2p.set(lpn as usize, dst_ppn);
+            tl.program(&self.cfg, chip, at, Origin::Gc);
+            self.fstats.remapped_pages += 1;
+        }
+        self.chips[chip].blocks.retire(block);
+        self.fstats.retired_blocks += 1;
+        self.refresh_health();
+    }
+
+    /// Enter degraded mode (or escalate, per configuration) when any chip's
+    /// free blocks fall below the reliability floor. No-op with the default
+    /// floor of 0.
+    fn refresh_health(&mut self) {
+        if self.health == Health::ReadOnly {
+            return;
+        }
+        let floor = self.faults.config().read_only_free_floor;
+        if floor == 0 {
+            return;
+        }
+        if self.chips.iter().any(|c| c.blocks.free_count() < floor) {
+            self.degrade("free blocks fell below the reliability floor");
+        }
+    }
+
+    /// Transition to read-only, or panic under [`DegradedMode::Escalate`].
+    fn degrade(&mut self, why: &str) {
+        match self.faults.config().on_exhaustion {
+            DegradedMode::ReadOnly => self.health = Health::ReadOnly,
+            DegradedMode::Escalate => panic!("flash device degraded: {why}"),
+        }
     }
 
     /// Program one host/flush page on `chip` at `at`. Returns completion ns.
     fn program_one(&mut self, chip: usize, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> u64 {
         assert!(lpn < self.logical_pages(), "LPN {lpn} beyond device");
         self.maybe_gc(chip, at, tl);
-        self.invalidate_lpn(lpn);
-        self.allocate_mapped(chip, lpn);
-        tl.program(&self.cfg, chip, at, Origin::User).end_ns
+        if self.faults.is_inert() {
+            self.invalidate_lpn(lpn);
+            self.allocate_mapped(chip, lpn);
+            return tl.program(&self.cfg, chip, at, Origin::User).end_ns;
+        }
+        // Fault path: keep the old copy mapped until the new program has
+        // succeeded (write-then-invalidate, like a real FTL) so a failed
+        // or rejected write never loses the previous version.
+        loop {
+            let Some((block, page)) = self.try_allocate_raw(chip) else {
+                // Out of space while faults are live: retirements may have
+                // eaten the overprovisioning GC needs, so this is a device
+                // failure, not a configuration error.
+                self.degrade("chip out of space after block retirements");
+                self.fstats.rejected_write_pages += 1;
+                return at;
+            };
+            let done = tl.program(&self.cfg, chip, at, Origin::User).end_ns;
+            let wear = self.chips[chip].blocks.meta(block).erase_count;
+            if !self.faults.program_fails(wear) {
+                // Commit: map the new page, then invalidate the old copy.
+                let old = self.l2p.get(lpn as usize);
+                let ppn = self.ppn_of(chip, block, page);
+                self.l2p.set(lpn as usize, ppn);
+                self.p2l.set(ppn as usize, lpn as u32);
+                if old != UNMAPPED {
+                    self.invalidate_ppn(old);
+                }
+                return done;
+            }
+            // Program failure: the attempt was charged to the timeline but
+            // the data never landed. Drop the dead (never-mapped) page,
+            // retire the block — migrating its valid pages, possibly
+            // including the old copy of this very LPN — and try elsewhere.
+            self.fstats.program_failures += 1;
+            self.chips[chip].blocks.invalidate(block, page);
+            self.retire_block(chip, block, at, tl);
+            self.maybe_gc(chip, at, tl);
+        }
     }
 
     /// Flush a batch of pages at `at` with the given placement policy.
@@ -308,6 +512,12 @@ impl Ftl {
         tl: &mut FlashTimeline,
     ) -> u64 {
         if lpns.is_empty() {
+            return at;
+        }
+        self.refresh_health();
+        if self.health == Health::ReadOnly {
+            // Degraded: reject the whole batch, serve no flash traffic.
+            self.fstats.rejected_write_pages += lpns.len() as u64;
             return at;
         }
         let chips = self.chips.len();
@@ -337,13 +547,44 @@ impl Ftl {
     pub fn read_page(&mut self, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> u64 {
         assert!(lpn < self.logical_pages(), "LPN {lpn} beyond device");
         let ppn = self.l2p.get(lpn as usize);
-        let chip = if ppn == UNMAPPED {
+        let (chip, wear) = if ppn == UNMAPPED {
             self.stats.unmapped_reads += 1;
-            (lpn % self.chips.len() as u64) as usize
+            ((lpn % self.chips.len() as u64) as usize, 0)
         } else {
-            self.chip_of_ppn(ppn)
+            let chip = self.chip_of_ppn(ppn);
+            let wear = if self.faults.is_inert() {
+                0 // skip the block-metadata lookup on the zero-fault path
+            } else {
+                let (block, _) = self.block_page_of_ppn(ppn);
+                self.chips[chip].blocks.meta(block).erase_count
+            };
+            (chip, wear)
         };
-        tl.read(&self.cfg, chip, at, Origin::User).end_ns
+        let done = tl.read(&self.cfg, chip, at, Origin::User).end_ns;
+        if !self.faults.read_fails(wear) {
+            return done;
+        }
+        // Raw-bit-error path: each retry is a full flash read issued after
+        // the failed attempt, re-occupying the chip and bus timelines — this
+        // is how fault injection degrades tail latency realistically.
+        self.fstats.read_faults += 1;
+        let mut done = done;
+        let mut corrected = false;
+        for _ in 0..self.faults.config().max_read_retries {
+            self.fstats.read_retries += 1;
+            done = tl.read(&self.cfg, chip, at, Origin::User).end_ns;
+            if !self.faults.read_fails(wear) {
+                corrected = true;
+                break;
+            }
+        }
+        if !corrected {
+            // ECC gave up; a real drive returns a media error. The
+            // simulator serves the request (there is no data payload to
+            // corrupt) and counts it.
+            self.fstats.read_uncorrectable += 1;
+        }
+        done
     }
 
     /// Debug-grade consistency check: every l2p entry has a matching p2l
@@ -371,6 +612,14 @@ impl Ftl {
         let live = self.live_pages();
         if mapped != live {
             return Err(format!("mapped {mapped} != live {live}"));
+        }
+        for (c, domain) in self.chips.iter().enumerate() {
+            for b in 0..domain.blocks.block_count() as u32 {
+                let meta = domain.blocks.meta(b);
+                if meta.state == BlockState::Bad && meta.valid != 0 {
+                    return Err(format!("bad block {b} on chip {c} still holds live pages"));
+                }
+            }
         }
         Ok(())
     }
@@ -558,5 +807,213 @@ mod tests {
             }
         }
         assert!(ftl.max_erase_count() >= 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection / reliability
+    // ------------------------------------------------------------------
+
+    use reqblock_flash::PPM_SCALE;
+
+    fn setup_faulty(fc: FaultConfig) -> (Ftl, FlashTimeline, SsdConfig) {
+        let cfg = SsdConfig::tiny();
+        (Ftl::with_faults(&cfg, fc), FlashTimeline::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn zero_fault_config_matches_plain_ftl() {
+        let cfg = SsdConfig::tiny();
+        let mut plain = Ftl::new(&cfg);
+        let mut tl_a = FlashTimeline::new(&cfg);
+        let mut faulty = Ftl::with_faults(&cfg, FaultConfig::default());
+        let mut tl_b = FlashTimeline::new(&cfg);
+        for round in 0..40u64 {
+            for lpn in 0..64u64 {
+                let a = plain.write_pages(&[lpn], round * 1_000, Placement::Striped, &mut tl_a);
+                let b = faulty.write_pages(&[lpn], round * 1_000, Placement::Striped, &mut tl_b);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+        assert_eq!(tl_a.counters(), tl_b.counters());
+        assert_eq!(*faulty.fault_stats(), FaultStats::default());
+        assert_eq!(faulty.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn program_failures_retire_blocks_and_remap_pages() {
+        // 2% program-fail rate: a handful of failures over 640 programs,
+        // without retiring so many blocks the tiny drive dies.
+        let fc = FaultConfig::with_rates(1234, 0, 20_000, 0);
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        for round in 0..10u64 {
+            for lpn in 0..64u64 {
+                ftl.write_pages(&[lpn], round * 1_000, Placement::Striped, &mut tl);
+            }
+        }
+        let fs = *ftl.fault_stats();
+        assert!(fs.program_failures > 0, "no program failure in 640 writes at 2%");
+        assert_eq!(fs.retired_blocks as usize, ftl.bad_blocks_total());
+        assert!(fs.retired_blocks > 0);
+        // Every write ultimately landed: all 64 LPNs mapped, nothing lost.
+        for lpn in 0..64u64 {
+            assert!(ftl.is_mapped(lpn), "LPN {lpn} lost after program failures");
+        }
+        assert_eq!(ftl.live_pages(), 64);
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn erase_failures_retire_blocks_without_losing_data() {
+        // Erases fail 5% of the time; force heavy GC churn.
+        let fc = FaultConfig::with_rates(77, 0, 0, 50_000);
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        for round in 0..40u64 {
+            for lpn in 0..64u64 {
+                ftl.write_pages(&[lpn], round * 1_000, Placement::Striped, &mut tl);
+            }
+        }
+        let fs = *ftl.fault_stats();
+        assert!(fs.erase_failures > 0, "no erase failure despite GC churn");
+        assert_eq!(fs.retired_blocks, fs.erase_failures);
+        assert_eq!(fs.retired_blocks as usize, ftl.bad_blocks_total());
+        // GC kept running around the bad blocks and data survived.
+        assert_eq!(ftl.live_pages(), 64);
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn read_retries_cost_extra_flash_reads() {
+        let fc = FaultConfig::with_rates(9, 300_000, 0, 0);
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        ftl.write_pages(&(0..32).collect::<Vec<_>>(), 0, Placement::Striped, &mut tl);
+        let mut slow_reads = 0u64;
+        let baseline = {
+            let cfg = ftl.config();
+            cfg.read_latency_ns + cfg.page_transfer_ns()
+        };
+        for lpn in 0..32u64 {
+            // Arrivals a second apart: the chips are idle at each read, so
+            // any extra latency is retry serialization, not queueing.
+            let at = (lpn + 1) * 1_000_000_000;
+            let done = ftl.read_page(lpn, at, &mut tl);
+            if done > at + baseline {
+                slow_reads += 1;
+            }
+        }
+        let fs = *ftl.fault_stats();
+        assert!(fs.read_faults > 0, "no read fault in 32 reads at 30%");
+        assert!(fs.read_retries >= fs.read_faults);
+        // Every faulted read re-occupied the timeline: observable latency.
+        assert_eq!(slow_reads, fs.read_faults);
+        assert_eq!(tl.counters().user_reads, 32 + fs.read_retries);
+    }
+
+    #[test]
+    fn uncorrectable_reads_counted_after_retry_budget() {
+        // Reads always fail: 1 fault + max_read_retries retries each, all
+        // uncorrectable.
+        let fc = FaultConfig::with_rates(5, PPM_SCALE, 0, 0);
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        ftl.write_pages(&[1, 2, 3], 0, Placement::Striped, &mut tl);
+        for lpn in [1u64, 2, 3] {
+            ftl.read_page(lpn, 0, &mut tl);
+        }
+        let fs = *ftl.fault_stats();
+        assert_eq!(fs.read_faults, 3);
+        assert_eq!(fs.read_uncorrectable, 3);
+        assert_eq!(fs.read_retries, 3 * ftl.fault_config().max_read_retries as u64);
+    }
+
+    #[test]
+    fn free_floor_degrades_to_read_only_but_serves_reads() {
+        // Zero fault rates; degradation comes purely from the free-block
+        // floor. tiny chip = 32 blocks; floor 30 trips after a few blocks
+        // open for writing.
+        let fc = FaultConfig { read_only_free_floor: 30, ..FaultConfig::default() };
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        let mut lpn = 0u64;
+        while !ftl.is_read_only() {
+            ftl.write_pages(&[lpn], 0, Placement::Striped, &mut tl);
+            lpn += 1;
+            assert!(lpn < 400, "device never degraded");
+        }
+        assert_eq!(ftl.health(), Health::ReadOnly);
+        let mapped_before = ftl.live_pages();
+        let programs_before = tl.counters().user_programs;
+        let rejected_before = ftl.fault_stats().rejected_write_pages;
+        // Writes are rejected: no time charged, no flash traffic, counted.
+        let done = ftl.write_pages(&[500, 501], 5_000, Placement::Striped, &mut tl);
+        assert_eq!(done, 5_000);
+        assert_eq!(tl.counters().user_programs, programs_before);
+        assert_eq!(ftl.fault_stats().rejected_write_pages, rejected_before + 2);
+        assert_eq!(ftl.live_pages(), mapped_before);
+        assert!(!ftl.is_mapped(500));
+        // Reads of existing data are still served, with normal timing.
+        let r = ftl.read_page(0, 10_000, &mut tl);
+        assert!(r > 10_000);
+        assert!(ftl.is_mapped(0));
+        ftl.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "flash device degraded")]
+    fn escalate_mode_panics_at_the_floor() {
+        let fc = FaultConfig {
+            read_only_free_floor: 30,
+            on_exhaustion: DegradedMode::Escalate,
+            ..FaultConfig::default()
+        };
+        let (mut ftl, mut tl, _cfg) = setup_faulty(fc);
+        for lpn in 0..512u64 {
+            ftl.write_pages(&[lpn], 0, Placement::Striped, &mut tl);
+        }
+    }
+
+    #[test]
+    fn gc_floor_shrinks_with_retired_blocks() {
+        // Retire blocks via certain program failure on one chip, then check
+        // the floor math follows the usable count.
+        let fc = FaultConfig::with_rates(3, 0, 0, 0);
+        let (ftl, _tl, cfg) = setup_faulty(fc);
+        assert_eq!(ftl.gc_floor(0), cfg.gc_free_blocks_floor());
+        let mut ftl = ftl;
+        // Manually retire two blocks on chip 0 through the public surface:
+        // fill them, invalidate them, and retire via erase-failure path is
+        // indirect — use ChipBlocks directly instead.
+        let dom = &mut ftl.chips[0];
+        for _ in 0..2 {
+            let mut filled = None;
+            for _ in 0..cfg.pages_per_block {
+                let (b, p) = dom.blocks.allocate_page().unwrap();
+                dom.blocks.invalidate(b, p);
+                filled = Some(b);
+            }
+            dom.blocks.retire(filled.unwrap());
+        }
+        assert_eq!(dom.blocks.bad_count(), 2);
+        // usable 30 * 0.10 -> ceil(3.0) = 3 vs the healthy floor of 4.
+        assert_eq!(ftl.gc_floor(0), 3);
+        assert_eq!(cfg.gc_free_blocks_floor(), 4);
+    }
+
+    #[test]
+    fn deterministic_fault_stream_under_same_seed() {
+        let fc = FaultConfig::with_rates(2024, 20_000, 10_000, 10_000);
+        let run = || {
+            let (mut ftl, mut tl, _cfg) = setup_faulty(fc.clone());
+            let mut last = 0;
+            for round in 0..20u64 {
+                for lpn in 0..64u64 {
+                    last = ftl.write_pages(&[lpn], round * 1_000, Placement::Striped, &mut tl);
+                    last = last.max(ftl.read_page(lpn / 2, round * 1_000, &mut tl));
+                }
+            }
+            (*ftl.fault_stats(), *tl.counters(), last)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed+config must reproduce faults exactly");
+        assert!(a.0.read_faults > 0 || a.0.program_failures > 0);
     }
 }

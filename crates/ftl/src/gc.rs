@@ -135,6 +135,21 @@ mod tests {
     }
 
     #[test]
+    fn retired_blocks_never_picked() {
+        let cfg = SsdConfig::tiny();
+        let mut cb = ChipBlocks::new(&cfg);
+        let mut p = GreedyPicker::new();
+        let b = fill_one_block(&mut cb, &cfg);
+        for page in 0..cfg.pages_per_block as u16 {
+            let inv = cb.invalidate(b, page);
+            p.note(b, inv);
+        }
+        cb.retire(b);
+        // Entries for the now-bad block are stale: GC must skip it.
+        assert_eq!(p.pick(&cb), None);
+    }
+
+    #[test]
     fn active_blocks_never_picked() {
         let cfg = SsdConfig::tiny();
         let mut cb = ChipBlocks::new(&cfg);

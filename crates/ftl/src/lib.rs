@@ -18,10 +18,21 @@
 //!   page count; GC migrates valid pages within the chip and erases the
 //!   victim, charging all of it to the chip's timeline so later host
 //!   operations observe the delay.
+//!
+//! Reliability (see DESIGN.md §9): built with [`Ftl::with_faults`], the FTL
+//! consults a seeded `reqblock_flash::FaultModel` on host reads, host/flush
+//! programs and GC erases. Failed reads retry (each retry a full timed
+//! read), failed programs remap the page and retire the block, failed
+//! erases retire the block; retired ([`BlockState::Bad`]) blocks leave the
+//! rotation for good and shrink the GC floor proportionally. Once a chip's
+//! free blocks fall below `FaultConfig::read_only_free_floor` the device
+//! degrades per [`Health`]: writes rejected, reads still served. The
+//! default fault config is inert and leaves behaviour bit-identical to a
+//! fault-free build.
 
 pub mod blocks;
 pub mod ftl;
 pub mod gc;
 
 pub use blocks::{BlockState, ChipBlocks};
-pub use ftl::{Ftl, FtlObs, FtlStats, Placement};
+pub use ftl::{Ftl, FtlObs, FtlStats, Health, Placement};

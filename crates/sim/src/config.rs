@@ -6,7 +6,7 @@ use reqblock_cache::policies::{
 };
 use reqblock_cache::WriteBuffer;
 use reqblock_core::{ReqBlock, ReqBlockConfig};
-use reqblock_flash::SsdConfig;
+use reqblock_flash::{FaultConfig, SsdConfig};
 use serde::{Deserialize, Serialize};
 
 /// The paper's three data-cache sizes (§4.1: "the size of data cache varying
@@ -145,6 +145,10 @@ pub struct SimConfig {
     pub overhead_sample_every: u64,
     /// Time-series sampling cadence for recorded runs.
     pub sampling: SampleInterval,
+    /// Fault-injection configuration for the FTL/flash layer. The default
+    /// is zero-fault: behaviour (and golden metrics) identical to a run
+    /// without the reliability layer.
+    pub fault: FaultConfig,
 }
 
 impl SimConfig {
@@ -156,6 +160,7 @@ impl SimConfig {
             policy,
             overhead_sample_every: 1_000,
             sampling: SampleInterval::Off,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -167,12 +172,20 @@ impl SimConfig {
             policy,
             overhead_sample_every: 10,
             sampling: SampleInterval::Off,
+            fault: FaultConfig::default(),
         }
     }
 
     /// Same config with a different sampling cadence (builder-style).
     pub fn with_sampling(mut self, sampling: SampleInterval) -> Self {
         self.sampling = sampling;
+        self
+    }
+
+    /// Same config with fault injection enabled (builder-style). Identical
+    /// seeds and rates reproduce the exact same failures run after run.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 }

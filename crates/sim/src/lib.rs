@@ -27,6 +27,14 @@
 //! counter/gauge rollup, and — when [`config::SampleInterval`] is set —
 //! periodic time series (hit ratio, write amplification, channel
 //! utilization, buffer occupancy, free blocks, Req-block list occupancy).
+//!
+//! Reliability: set [`SimConfig::with_faults`] with a nonzero
+//! [`FaultConfig`] to inject deterministic, seeded read/program/erase
+//! failures (see `reqblock-flash`/`reqblock-ftl`). Fault counters, retired
+//! bad blocks and degraded-mode state flow into the same recorder rollup
+//! (`fault_*`, `bad_blocks*`, `rejected_write_pages`, `device_read_only`)
+//! and into [`runner::RunResult::faults`]; zero-fault runs emit none of
+//! these keys, so existing telemetry consumers see no change.
 
 pub mod config;
 pub mod machine;
@@ -35,6 +43,8 @@ pub mod probes;
 pub mod runner;
 
 pub use config::{CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
+pub use reqblock_flash::{DegradedMode, FaultConfig, FaultStats};
+pub use reqblock_ftl::Health;
 pub use machine::Ssd;
 pub use metrics::Metrics;
 pub use reqblock_obs::Histogram as LatencyHistogram;

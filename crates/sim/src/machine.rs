@@ -3,8 +3,8 @@
 use crate::config::{SampleInterval, SimConfig};
 use crate::metrics::Metrics;
 use reqblock_cache::{Access, EvictionBatch, Placement as CachePlacement, WriteBuffer};
-use reqblock_flash::{FlashTimeline, OpCounters};
-use reqblock_ftl::{Ftl, FtlStats, Placement as FtlPlacement};
+use reqblock_flash::{FaultStats, FlashTimeline, OpCounters};
+use reqblock_ftl::{Ftl, FtlStats, Health, Placement as FtlPlacement};
 use reqblock_obs::{NoopRecorder, PageEvent, Recorder};
 use reqblock_trace::{OpType, Request};
 
@@ -35,7 +35,7 @@ impl Ssd {
         cfg.ssd.validate().expect("invalid SSD config");
         assert!(cfg.cache_pages > 0, "cache must hold at least one page");
         let cache = cfg.policy.build(cfg.cache_pages, cfg.ssd.pages_per_block);
-        let ftl = Ftl::new(&cfg.ssd);
+        let ftl = Ftl::with_faults(&cfg.ssd, cfg.fault.clone());
         let timeline = FlashTimeline::new(&cfg.ssd);
         Self {
             cache,
@@ -63,6 +63,16 @@ impl Ssd {
     /// FTL/GC statistics.
     pub fn ftl_stats(&self) -> &FtlStats {
         self.ftl.stats()
+    }
+
+    /// Reliability counters (all zero with the default zero-fault config).
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.ftl.fault_stats()
+    }
+
+    /// Current device health (degrades under fault injection).
+    pub fn health(&self) -> Health {
+        self.ftl.health()
     }
 
     /// The cache policy (for occupancy queries and event counters).
@@ -253,6 +263,9 @@ impl Ssd {
         let occ = self.cache.len_pages() as f64 / self.cache.capacity_pages() as f64;
         rec.sample("buf_occupancy", t, occ);
         rec.sample("free_blocks", t, self.ftl.free_blocks_total() as f64);
+        if !self.cfg.fault.is_inert() {
+            rec.sample("bad_blocks", t, self.ftl.bad_blocks_total() as f64);
+        }
         if let Some([irl, srl, drl]) = self.cache.list_occupancy() {
             rec.sample("irl_pages", t, irl as f64);
             rec.sample("srl_pages", t, srl as f64);
@@ -297,6 +310,26 @@ impl Ssd {
         let o = *self.ftl.obs();
         rec.counter("gc_busy_ns", saturate_u64(o.gc_busy_ns));
         rec.gauge("gc_max_pause_ms", o.gc_max_pause_ns as f64 / 1e6);
+
+        // Reliability rollup: emitted only when fault injection is
+        // configured, so zero-fault telemetry stays byte-identical to
+        // pre-reliability-layer runs.
+        if !self.cfg.fault.is_inert() || self.cfg.fault.read_only_free_floor > 0 {
+            let fs = *self.ftl.fault_stats();
+            rec.counter("fault_read_faults", fs.read_faults);
+            rec.counter("fault_read_retries", fs.read_retries);
+            rec.counter("fault_read_uncorrectable", fs.read_uncorrectable);
+            rec.counter("fault_program_failures", fs.program_failures);
+            rec.counter("fault_erase_failures", fs.erase_failures);
+            rec.counter("bad_blocks_retired", fs.retired_blocks);
+            rec.counter("remapped_pages", fs.remapped_pages);
+            rec.counter("rejected_write_pages", fs.rejected_write_pages);
+            rec.gauge("bad_blocks", self.ftl.bad_blocks_total() as f64);
+            rec.gauge(
+                "device_read_only",
+                if self.ftl.is_read_only() { 1.0 } else { 0.0 },
+            );
+        }
 
         if let Some(ev) = self.cache.events() {
             rec.counter("cache_srl_upgrades", ev.srl_upgrades);
@@ -529,6 +562,38 @@ mod tests {
             ssd.submit(&Request::write_pages(i, i, 1));
         }
         assert_eq!(ssd.metrics().requests, 5);
+    }
+
+    #[test]
+    fn fault_rollup_recorded_only_when_faults_configured() {
+        use reqblock_flash::FaultConfig;
+        // Zero-fault run: no reliability keys in the rollup at all, so
+        // pre-reliability telemetry is byte-identical.
+        let mut plain = tiny(PolicyKind::Lru, 4);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..20u64 {
+            plain.submit_recorded(&Request::write_pages(i, i, 1), &mut rec);
+        }
+        plain.finish_recording(&mut rec);
+        assert_eq!(rec.counter_value("fault_read_retries"), 0);
+        assert!(rec.gauge_value("device_read_only").is_none());
+
+        // Faulty run: counters and health gauge appear.
+        let cfg = SimConfig::tiny(4, PolicyKind::Lru)
+            .with_faults(FaultConfig::with_rates(42, 300_000, 0, 0));
+        let mut ssd = Ssd::new(cfg);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..40u64 {
+            ssd.submit_recorded(&Request::write_pages(i * 1_000, i, 1), &mut rec);
+        }
+        for i in 0..40u64 {
+            ssd.submit_recorded(&Request::read_pages(100_000 + i * 1_000, i, 1), &mut rec);
+        }
+        ssd.finish_recording(&mut rec);
+        assert!(ssd.fault_stats().read_faults > 0, "30% read faults never fired");
+        assert_eq!(rec.counter_value("fault_read_faults"), ssd.fault_stats().read_faults);
+        assert_eq!(rec.counter_value("fault_read_retries"), ssd.fault_stats().read_retries);
+        assert_eq!(rec.gauge_value("device_read_only"), Some(0.0));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::config::SimConfig;
 use crate::machine::Ssd;
 use crate::metrics::Metrics;
-use reqblock_flash::OpCounters;
-use reqblock_ftl::FtlStats;
+use reqblock_flash::{FaultStats, OpCounters};
+use reqblock_ftl::{FtlStats, Health};
 use reqblock_obs::{NoopRecorder, Recorder};
 use reqblock_trace::{Request, SyntheticTrace, WorkloadProfile};
 use std::panic::AssertUnwindSafe;
@@ -25,6 +25,10 @@ pub struct RunResult {
     pub flash: OpCounters,
     /// GC statistics.
     pub ftl: FtlStats,
+    /// Reliability counters (all zero unless the run injected faults).
+    pub faults: FaultStats,
+    /// Device health at end of run (degrades under fault injection).
+    pub health: Health,
     /// Host wall-clock time the replay took, in seconds (simulator
     /// throughput, not simulated time).
     pub host_elapsed_s: f64,
@@ -54,6 +58,8 @@ fn collect(cfg: &SimConfig, ssd: &Ssd, started: Instant) -> RunResult {
         metrics: ssd.metrics().clone(),
         flash: *ssd.flash_counters(),
         ftl: *ssd.ftl_stats(),
+        faults: *ssd.fault_stats(),
+        health: ssd.health(),
         host_elapsed_s: started.elapsed().as_secs_f64(),
     }
 }

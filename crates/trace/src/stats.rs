@@ -2,7 +2,7 @@
 //!
 //! Table 2 of the paper characterizes each trace by request count, write
 //! ratio, mean write size, and "Frequent R (Wr)". The paper defines
-//! *Frequent R* as "the ratio of addresses requested not less than 3 [times]"
+//! *Frequent R* as "the ratio of addresses requested not less than 3 \[times\]"
 //! and *(Wr)* as "the percent of write addresses in which". We compute both
 //! at 4 KB page granularity:
 //!

@@ -27,6 +27,9 @@ cargo test -q
 echo "== cargo clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 if [[ "$RUN_BENCH" == 1 ]]; then
     scripts/bench.sh
 else

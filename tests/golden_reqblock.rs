@@ -129,6 +129,7 @@ fn reqblock_golden_pressured_device_with_gc() {
         policy: PolicyKind::ReqBlock(ReqBlockConfig::paper()),
         overhead_sample_every: 1_000,
         sampling: reqblock::sim::SampleInterval::Off,
+        fault: reqblock::flash::FaultConfig::default(),
     };
     let source = TraceSource::Synthetic(ts_0().scaled(0.01));
     let got = run_twice(&cfg, &source);
