@@ -1,0 +1,172 @@
+//! Dependency-free sweep benchmark: wall-clock for a full `repro all`.
+//!
+//! Measures [`reqblock_experiments::sweep::run_all`] — the barrier-free
+//! pool behind `repro all` — in three modes, interleaved inside every
+//! repeat so background noise hits all of them the same way:
+//!
+//! * `uncached_serial`   — shared trace cache off, one worker thread. This
+//!   is the pre-optimization shape: every figure re-synthesizes every
+//!   trace it touches, jobs run one after another.
+//! * `cached_serial`     — trace cache on, one worker. Isolates what the
+//!   shared `Arc<[Request]>` cache buys on its own: each (source, scale)
+//!   pair is synthesized once per sweep instead of once per figure.
+//! * `cached_parallel`   — trace cache on, `--threads` workers. The full
+//!   configuration; on a multi-core host this adds the pool speedup on
+//!   top of the cache (on one core it tracks `cached_serial`).
+//!
+//! Every repeat asserts the three modes emit byte-identical tables and
+//! telemetry (the "perf" section is excluded — it embeds host wall-clock),
+//! so the benchmark doubles as an end-to-end determinism check.
+//!
+//! ```text
+//! cargo run --release -p reqblock-bench --bin sweep -- \
+//!     [--scale 0.05] [--repeats 3] [--threads N] [--out sweep.json]
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `scripts/bench.sh` wraps this
+//! and gates the cached_parallel median against `BENCH_sweep.json`.
+
+use reqblock_experiments::sweep::{run_all, AllArtifacts};
+use reqblock_experiments::Opts;
+use reqblock_trace::shared;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Render the comparable artifact surface: every section's tables as
+/// markdown (minus "perf", whose cells embed host timings) plus the
+/// telemetry JSONL.
+fn artifact_digest(art: &AllArtifacts) -> String {
+    let mut s = String::new();
+    for (name, tables) in &art.sections {
+        if name == "perf" {
+            continue;
+        }
+        for t in tables {
+            let _ = writeln!(s, "## {name}\n{}", t.to_markdown());
+        }
+    }
+    s.push_str(&art.telemetry_jsonl);
+    s
+}
+
+/// One timed `run_all` with the trace cache set as given. The cache is
+/// cleared first either way, so every measurement is one cold `repro all`.
+fn timed_run(opts: &Opts, cache_on: bool) -> (f64, String) {
+    shared::set_enabled(cache_on);
+    shared::clear();
+    let t0 = Instant::now();
+    let art = run_all(opts);
+    let elapsed = t0.elapsed().as_secs_f64();
+    shared::set_enabled(true);
+    (elapsed, artifact_digest(&art))
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    assert!(n > 0, "median of an empty sample set");
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+}
+
+fn main() {
+    let mut scale = 0.02f64;
+    let mut repeats = 3u32;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("--scale must be a number"),
+            "--repeats" => repeats = value("--repeats").parse().expect("--repeats must be an int"),
+            "--threads" => {
+                threads = value("--threads").parse().expect("--threads must be an int");
+                assert!(threads > 0, "--threads must be positive");
+            }
+            "--out" => out = Some(value("--out")),
+            other => {
+                panic!("unknown argument {other:?} (expected --scale/--repeats/--threads/--out)")
+            }
+        }
+    }
+
+    let out_dir = std::env::temp_dir().join("reqblock_bench_sweep");
+    let serial = Opts { scale, threads: 1, out_dir: out_dir.clone(), trace_dir: None };
+    let parallel = Opts { scale, threads, out_dir, trace_dir: None };
+    eprintln!("sweep: repro-all workload at scale {scale}, {repeats} repeats, {threads} threads");
+
+    // Warm-up: page in code paths once, and pin the reference artifacts
+    // every measured run must reproduce.
+    let (_, reference) = timed_run(&serial, true);
+
+    let mut times: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let modes: [(&str, &Opts, bool); 3] = [
+        ("uncached_serial", &serial, false),
+        ("cached_serial", &serial, true),
+        ("cached_parallel", &parallel, true),
+    ];
+    for rep in 0..repeats {
+        for (i, (name, opts, cache_on)) in modes.iter().enumerate() {
+            let (elapsed, digest) = timed_run(opts, *cache_on);
+            assert_eq!(
+                digest, reference,
+                "{name} emitted different artifacts on repeat {rep}"
+            );
+            eprintln!("sweep: repeat {rep} {name:<16} {elapsed:>7.2} s");
+            times[i].push(elapsed);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sweep\",");
+    let _ = writeln!(json, "  \"workload\": \"repro all\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, (name, _, _)) in modes.iter().enumerate() {
+        let t = &times[i];
+        let samples: Vec<String> = t.iter().map(|v| format!("{v:.3}")).collect();
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"times_s\": [{}], \"best_s\": {:.3}, \"median_s\": {:.3}}}{}",
+            samples.join(", "),
+            best(t),
+            median(t),
+            if i + 1 < modes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let speedup =
+        |num: &[f64], den: &[f64]| (best(num) / best(den), median(num) / median(den));
+    let (sb, sm) = speedup(&times[0], &times[1]);
+    let _ = writeln!(
+        json,
+        "  \"speedup_cache\": {{\"best\": {sb:.2}, \"median\": {sm:.2}}},"
+    );
+    let (pb, pm) = speedup(&times[0], &times[2]);
+    let _ = writeln!(
+        json,
+        "  \"speedup_total\": {{\"best\": {pb:.2}, \"median\": {pm:.2}}}"
+    );
+    json.push_str("}\n");
+
+    eprintln!("sweep: cache speedup {sm:.2}x, total speedup {pm:.2}x (median over repeats)");
+    match out {
+        Some(path) => std::fs::write(&path, json).expect("cannot write bench output"),
+        None => print!("{json}"),
+    }
+}

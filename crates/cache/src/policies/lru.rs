@@ -10,11 +10,18 @@ use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
 use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
+/// Spare page-buffer pool ceiling shared by the recycling policies: enough
+/// for any realistic in-flight eviction burst, small enough that the pool
+/// never holds meaningful memory.
+pub(crate) const SPARE_PAGE_BUFFERS: usize = 32;
+
 /// Page-level LRU write buffer.
 pub struct LruCache {
     capacity: usize,
     list: SlabList<Lpn>,
     map: FxHashMap<Lpn, Handle>,
+    /// Recycled single-page eviction buffers (see [`WriteBuffer::recycle`]).
+    spare: Vec<Vec<Lpn>>,
 }
 
 impl LruCache {
@@ -25,6 +32,7 @@ impl LruCache {
             capacity: capacity_pages,
             list: SlabList::with_capacity(capacity_pages),
             map: fx_map_with_capacity(capacity_pages * 2),
+            spare: Vec::new(),
         }
     }
 
@@ -32,7 +40,9 @@ impl LruCache {
         let victim = self.list.back().expect("evicting from empty cache");
         let lpn = self.list.remove(victim);
         self.map.remove(&lpn);
-        evictions.push(EvictionBatch::striped(vec![lpn]));
+        let mut lpns = self.spare.pop().unwrap_or_default();
+        lpns.push(lpn);
+        evictions.push(EvictionBatch::striped(lpns));
     }
 }
 
@@ -91,6 +101,14 @@ impl WriteBuffer for LruCache {
             Vec::new()
         } else {
             vec![EvictionBatch::striped(lpns)]
+        }
+    }
+
+    fn recycle(&mut self, batch: EvictionBatch) {
+        if self.spare.len() < SPARE_PAGE_BUFFERS {
+            let mut lpns = batch.lpns;
+            lpns.clear();
+            self.spare.push(lpns);
         }
     }
 }

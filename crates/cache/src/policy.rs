@@ -139,6 +139,13 @@ pub trait WriteBuffer {
 
     /// Remove and return everything still cached (end-of-trace drain).
     fn drain(&mut self) -> Vec<EvictionBatch>;
+
+    /// Hand a flushed [`EvictionBatch`] back to the policy so it can reuse
+    /// the batch's page buffers for future blocks or batches instead of
+    /// allocating fresh ones — the simulator calls this after every flush.
+    /// The pages are already on flash; implementations must treat the
+    /// contents as garbage. The default drops the batch.
+    fn recycle(&mut self, _batch: EvictionBatch) {}
 }
 
 #[cfg(test)]

@@ -209,6 +209,10 @@ pub struct ReqBlock {
     /// List-transition counters for the observability layer (plain
     /// increments on paths that already touch the block — free to keep on).
     events: CacheEvents,
+    /// Recycled page vectors: flushed eviction batches hand their `lpns`
+    /// buffer back (see [`WriteBuffer::recycle`]) and new request blocks
+    /// take one instead of allocating.
+    spare_pages: Vec<Vec<Lpn>>,
 }
 
 impl ReqBlock {
@@ -224,6 +228,7 @@ impl ReqBlock {
             pages_per_level: [0; 3],
             page_index: fx_map_with_capacity(capacity_pages * 2),
             events: CacheEvents::default(),
+            spare_pages: Vec::new(),
         }
     }
 
@@ -269,7 +274,7 @@ impl ReqBlock {
         }
         let bid = self.blocks.insert(Block {
             req_id,
-            pages: Vec::new(),
+            pages: self.spare_pages.pop().unwrap_or_default(),
             access_cnt: 1,
             insert_time: now,
             level,
@@ -549,6 +554,17 @@ impl WriteBuffer for ReqBlock {
             out.push(EvictionBatch::striped(pages));
         }
         out
+    }
+
+    fn recycle(&mut self, batch: EvictionBatch) {
+        // Cap matches the page-policy pool: enough for any eviction burst,
+        // never meaningful memory.
+        const SPARE_PAGE_BUFFERS: usize = 32;
+        if self.spare_pages.len() < SPARE_PAGE_BUFFERS {
+            let mut pages = batch.lpns;
+            pages.clear();
+            self.spare_pages.push(pages);
+        }
     }
 }
 

@@ -20,14 +20,18 @@
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
-//!   all         everything above (paper artifacts + extensions)
+//!   all         everything above (paper artifacts + extensions), scheduled
+//!               as one barrier-free job pool across all figures
 //! ```
 //!
 //! `--scale` shrinks each trace's request count (default 0.05). `--full`
 //! is shorthand for `--scale 1.0` — the paper's exact request counts
-//! (several minutes of wall time on one core).
+//! (several minutes of wall time on one core). `--threads N` sets the
+//! worker count; it defaults to the host's available parallelism, and
+//! `--threads 1` is the explicit serial mode. Tables and telemetry are
+//! byte-identical at every thread count.
 
-use reqblock_experiments::{extensions, figures, figures::Opts};
+use reqblock_experiments::{extensions, figures, figures::Opts, sweep};
 use reqblock_experiments::report::{bar_chart, save, Table};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,7 +40,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|faults|telemetry|export|all>"
+          tails|wear|ablations|faults|telemetry|export|all>\n\
+         --threads defaults to the host's available parallelism; \
+         --threads 1 is the explicit serial mode (identical output)"
     );
     std::process::exit(2);
 }
@@ -195,21 +201,48 @@ fn main() -> ExitCode {
             println!("wrote {} requests to {path} (MSR CSV format)", reqs.len());
         }
         "all" => {
-            emit(&opts, "table1", &[figures::table1()]);
-            emit(&opts, "table2", &[figures::table2(&opts)]);
-            let (f2, f3) = figures::fig2_fig3(&opts);
-            emit(&opts, "fig2", &[f2]);
-            emit(&opts, "fig3", &[f3]);
-            let (hits, resp) = figures::fig7(&opts);
-            emit(&opts, "fig7", &[hits, resp]);
-            run_comparison_figs(&opts, "all");
-            let (samples, shares) = figures::fig13(&opts);
-            emit(&opts, "fig13", &[shares, samples]);
-            emit(&opts, "tails", &[extensions::tails(&opts)]);
-            emit(&opts, "wear", &[extensions::wear(&opts)]);
-            emit(&opts, "ablations", &[extensions::ablations(&opts)]);
-            emit(&opts, "faults", &[extensions::fault_sweep(&opts)]);
-            run_telemetry(&opts, "ts_0");
+            let t0 = Instant::now();
+            eprintln!(
+                "running all figures on one pool ({} threads, scale {}) ...",
+                opts.threads, opts.scale
+            );
+            let art = sweep::run_all(&opts);
+            eprintln!("sweep done in {:.1?}", t0.elapsed());
+            for (name, tables) in &art.sections {
+                if name == "perf" {
+                    println!(
+                        "{}",
+                        bar_chart(
+                            "mean response time (normalized to LRU, lower is better)",
+                            &art.resp_chart,
+                            40
+                        )
+                    );
+                    println!(
+                        "{}",
+                        bar_chart(
+                            "mean hit ratio (normalized to Req-block, higher is better)",
+                            &art.hit_chart,
+                            40
+                        )
+                    );
+                }
+                if name == "telemetry_ts_0" {
+                    let path = opts.out_dir.join("telemetry_ts_0.jsonl");
+                    if let Err(e) = std::fs::create_dir_all(&opts.out_dir)
+                        .and_then(|_| std::fs::write(&path, &art.telemetry_jsonl))
+                    {
+                        eprintln!("warning: could not write {}: {e}", path.display());
+                    } else {
+                        println!(
+                            "[saved {} ({} lines)]\n",
+                            path.display(),
+                            art.telemetry_jsonl.lines().count()
+                        );
+                    }
+                }
+                emit(&opts, name, tables);
+            }
         }
         _ => usage(),
     }

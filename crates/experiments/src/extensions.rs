@@ -10,27 +10,21 @@
 //!   seeded fault rates (read/program/erase), reporting retries, retired
 //!   bad blocks, remapped pages and the device health outcome.
 
-use crate::figures::Opts;
+use crate::figures::{run_pool, Opts};
 use crate::report::{f2, f3, Table};
 use reqblock_cache::policies::BplruConfig;
 use reqblock_core::{PriorityModel, ReqBlockConfig};
 use reqblock_sim::{
-    run_jobs, CacheSizeMb, FaultConfig, Job, PolicyKind, SampleInterval, SimConfig, TraceSource,
+    CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval, SimConfig, TraceSource,
 };
 
 /// Percentile columns reported by [`tails`].
 pub const TAIL_QUANTILES: [(f64, &str); 4] =
     [(0.50, "p50 (ms)"), (0.95, "p95 (ms)"), (0.99, "p99 (ms)"), (1.0, "max (ms)")];
 
-/// Response-time tail percentiles for the four compared policies, 32 MB.
-pub fn tails(opts: &Opts) -> Table {
-    let mut cols = vec!["Trace", "Policy", "mean (ms)"];
-    for (_, label) in TAIL_QUANTILES {
-        cols.push(label);
-    }
-    let mut t = Table::new("Extension - Response time percentiles (32MB)", &cols);
-    let jobs: Vec<Job> = opts
-        .profiles()
+/// The tails grid: one job per (trace, policy) at 32 MB.
+pub(crate) fn tails_jobs(opts: &Opts) -> Vec<Job> {
+    opts.profiles()
         .into_iter()
         .flat_map(|profile| {
             PolicyKind::paper_comparison().into_iter().map(move |policy| Job {
@@ -39,8 +33,17 @@ pub fn tails(opts: &Opts) -> Table {
                 source: TraceSource::Synthetic(profile.clone()),
             })
         })
-        .collect();
-    for (label, r) in run_jobs(&jobs, opts.threads) {
+        .collect()
+}
+
+/// Render the tails table from grid results (job order of [`tails_jobs`]).
+pub(crate) fn tails_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut cols = vec!["Trace", "Policy", "mean (ms)"];
+    for (_, label) in TAIL_QUANTILES {
+        cols.push(label);
+    }
+    let mut t = Table::new("Extension - Response time percentiles (32MB)", &cols);
+    for (label, r) in results {
         let (trace, policy) = label.split_once('/').expect("label format");
         let mut row = vec![trace.to_string(), policy.to_string(), f3(r.metrics.avg_response_ms())];
         for (q, _) in TAIL_QUANTILES {
@@ -51,22 +54,31 @@ pub fn tails(opts: &Opts) -> Table {
     t
 }
 
-/// GC / wear statistics per policy on the most write-intensive workload.
-pub fn wear(opts: &Opts) -> Table {
-    let mut t = Table::new(
-        "Extension - GC activity and write amplification (proj_0-like, 32MB)",
-        &["Policy", "User programs", "GC programs", "GC runs", "Erases", "WA"],
-    );
+/// Response-time tail percentiles for the four compared policies, 32 MB.
+pub fn tails(opts: &Opts) -> Table {
+    tails_build(run_pool(tails_jobs(opts), opts.threads))
+}
+
+/// The wear grid: the four compared policies over a proj_0 slice.
+pub(crate) fn wear_jobs(opts: &Opts) -> Vec<Job> {
     let profile = reqblock_trace::profiles::proj_0().scaled(opts.scale);
-    let jobs: Vec<Job> = PolicyKind::paper_comparison()
+    PolicyKind::paper_comparison()
         .into_iter()
         .map(|policy| Job {
             label: policy.name().to_string(),
             cfg: SimConfig::paper(CacheSizeMb::Mb32, policy),
             source: TraceSource::Synthetic(profile.clone()),
         })
-        .collect();
-    for (label, r) in run_jobs(&jobs, opts.threads) {
+        .collect()
+}
+
+/// Render the wear table from grid results (job order of [`wear_jobs`]).
+pub(crate) fn wear_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut t = Table::new(
+        "Extension - GC activity and write amplification (proj_0-like, 32MB)",
+        &["Policy", "User programs", "GC programs", "GC runs", "Erases", "WA"],
+    );
+    for (label, r) in results {
         t.push_row(vec![
             label,
             r.flash.user_programs.to_string(),
@@ -77,6 +89,11 @@ pub fn wear(opts: &Opts) -> Table {
         ]);
     }
     t
+}
+
+/// GC / wear statistics per policy on the most write-intensive workload.
+pub fn wear(opts: &Opts) -> Table {
+    wear_build(run_pool(wear_jobs(opts), opts.threads))
 }
 
 /// The Req-block/BPLRU ablation variants (DESIGN.md A1-A4).
@@ -116,12 +133,8 @@ pub fn ablation_variants() -> Vec<(&'static str, PolicyKind)> {
     ]
 }
 
-/// Ablation comparison on the two most revealing workloads.
-pub fn ablations(opts: &Opts) -> Table {
-    let mut t = Table::new(
-        "Extension - Ablations (32MB)",
-        &["Variant", "Trace", "Hit ratio", "Avg resp (ms)", "Flash writes", "Pages/eviction"],
-    );
+/// The ablation grid: every variant over the two most revealing workloads.
+pub(crate) fn ablations_jobs(opts: &Opts) -> Vec<Job> {
     let mut jobs = Vec::new();
     for profile in ["src1_2", "proj_0"]
         .iter()
@@ -136,7 +149,16 @@ pub fn ablations(opts: &Opts) -> Table {
             });
         }
     }
-    for (label, r) in run_jobs(&jobs, opts.threads) {
+    jobs
+}
+
+/// Render the ablation table from grid results (order of [`ablations_jobs`]).
+pub(crate) fn ablations_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut t = Table::new(
+        "Extension - Ablations (32MB)",
+        &["Variant", "Trace", "Hit ratio", "Avg resp (ms)", "Flash writes", "Pages/eviction"],
+    );
+    for (label, r) in results {
         let (name, trace) = label.split_once('|').expect("label format");
         t.push_row(vec![
             name.to_string(),
@@ -150,11 +172,16 @@ pub fn ablations(opts: &Opts) -> Table {
     t
 }
 
+/// Ablation comparison on the two most revealing workloads.
+pub fn ablations(opts: &Opts) -> Table {
+    ablations_build(run_pool(ablations_jobs(opts), opts.threads))
+}
+
 /// Per-op fault rates (parts per million) swept by [`fault_sweep`]. The
 /// same rate is applied to reads, programs, and erases at each step.
 pub const FAULT_SWEEP_PPM: [u32; 4] = [0, 500, 2_000, 10_000];
 
-/// Reliability extension: one workload replayed under rising fault rates.
+/// The fault-sweep grid: a pressured Req-block device at each fault rate.
 ///
 /// Replays a `ts_0` slice through the Req-block policy on a deliberately
 /// tight flash array (~115% of the write footprint, like the pressured
@@ -162,22 +189,7 @@ pub const FAULT_SWEEP_PPM: [u32; 4] = [0, 500, 2_000, 10_000];
 /// block retirement — actually fire. Every run uses the same
 /// [`FaultConfig`] seed, so the table is reproducible bit-for-bit; the
 /// zero-ppm row doubles as a control that matches a fault-free device.
-pub fn fault_sweep(opts: &Opts) -> Table {
-    let mut t = Table::new(
-        "Extension - Fault-rate sweep (Req-block, pressured device, fixed seed)",
-        &[
-            "Fault ppm",
-            "Read retries",
-            "Uncorrectable",
-            "Program fails",
-            "Erase fails",
-            "Bad blocks",
-            "Remapped pages",
-            "Rejected pages",
-            "Health",
-            "Avg resp (ms)",
-        ],
-    );
+pub(crate) fn fault_jobs(opts: &Opts) -> Vec<Job> {
     let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
     // Two-chip device sized to ~115% of the logical footprint (write
     // streams plus the cold-read region): small enough that the append
@@ -190,7 +202,7 @@ pub fn fault_sweep(opts: &Opts) -> Table {
     let footprint = profile.streaming_pages + profile.cold_read_extra_pages;
     let want_pages = (footprint as f64 * 1.15) as u64;
     ssd.capacity_bytes = want_pages.div_ceil(block_pages).max(8) * block_pages * ssd.page_size;
-    let jobs: Vec<Job> = FAULT_SWEEP_PPM
+    FAULT_SWEEP_PPM
         .into_iter()
         .map(|ppm| Job {
             label: ppm.to_string(),
@@ -209,8 +221,27 @@ pub fn fault_sweep(opts: &Opts) -> Table {
             },
             source: TraceSource::Synthetic(profile.clone()),
         })
-        .collect();
-    for (label, r) in run_jobs(&jobs, opts.threads) {
+        .collect()
+}
+
+/// Render the fault table from grid results (order of [`fault_jobs`]).
+pub(crate) fn fault_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut t = Table::new(
+        "Extension - Fault-rate sweep (Req-block, pressured device, fixed seed)",
+        &[
+            "Fault ppm",
+            "Read retries",
+            "Uncorrectable",
+            "Program fails",
+            "Erase fails",
+            "Bad blocks",
+            "Remapped pages",
+            "Rejected pages",
+            "Health",
+            "Avg resp (ms)",
+        ],
+    );
+    for (label, r) in results {
         let f = &r.faults;
         t.push_row(vec![
             label,
@@ -226,6 +257,11 @@ pub fn fault_sweep(opts: &Opts) -> Table {
         ]);
     }
     t
+}
+
+/// Reliability extension: one workload replayed under rising fault rates.
+pub fn fault_sweep(opts: &Opts) -> Table {
+    fault_build(run_pool(fault_jobs(opts), opts.threads))
 }
 
 #[cfg(test)]

@@ -6,13 +6,14 @@ use reqblock_obs::{Fanout, MemoryRecorder};
 use reqblock_sim::probes::{LargeReqHitProbe, SizeCdfProbe};
 use reqblock_obs::telemetry::{summary_rows, to_jsonl};
 use reqblock_sim::{
-    run_jobs, run_source_recorded, run_trace_recorded, CacheSizeMb, Job, PolicyKind, RunResult,
-    SampleInterval, SimConfig, TraceSource,
+    run_source_recorded, run_task_pool, run_trace_recorded, CacheSizeMb, Job, PolicyKind,
+    RunResult, SampleInterval, SimConfig, Task, TraceSource,
 };
 use reqblock_trace::stats::StatsBuilder;
-use reqblock_trace::{paper_profiles, WorkloadProfile};
+use reqblock_trace::{paper_profiles, Request, TraceStats, WorkloadProfile};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 /// Harness options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -20,7 +21,9 @@ pub struct Opts {
     /// Trace scale factor (1.0 = the paper's full request counts). Applies
     /// to synthetic workloads only; real trace files replay in full.
     pub scale: f64,
-    /// Worker threads for independent runs.
+    /// Worker threads for independent runs; defaults to
+    /// [`std::thread::available_parallelism`]. `1` is the explicit serial
+    /// mode (results are byte-identical either way).
     pub threads: usize,
     /// Output directory for `results/*.md` and `*.csv`.
     pub out_dir: PathBuf,
@@ -63,6 +66,114 @@ impl Opts {
     pub fn requests_for(&self, profile: &WorkloadProfile) -> Vec<reqblock_trace::Request> {
         self.source_for(profile).requests()
     }
+
+    /// Shared materialized requests for one workload: the process-wide
+    /// cached slice when the trace cache is on (the default), so probed
+    /// experiments and the sweep's simulation jobs all read the same
+    /// memory; a fresh uncached materialization otherwise.
+    pub fn shared_for(&self, profile: &WorkloadProfile) -> Arc<[Request]> {
+        self.source_for(profile).shared_requests()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pooled execution plumbing (plan/build split)
+//
+// Every figure below is split into a *plan* (jobs or per-trace probe
+// tasks) and a *build* (results -> Table). The public per-figure entry
+// points wire the two through their own pool; `sweep::run_all` instead
+// collects every figure's tasks into one barrier-free pool and runs the
+// builds afterwards.
+// ---------------------------------------------------------------------
+
+/// Unwrap a vector of filled one-shot slots (panics if a task never ran —
+/// the pool propagates task panics first, so this only fires on misuse).
+pub(crate) fn take_slots<T>(slots: Vec<OnceLock<T>>) -> Vec<T> {
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("pool task must have filled its slot"))
+        .collect()
+}
+
+/// A planned simulation grid: jobs plus one result slot per job. `tasks`
+/// borrows the pool, so create it before assembling the task list and call
+/// [`JobPool::take_results`] after the pool has drained.
+pub(crate) struct JobPool {
+    jobs: Vec<Job>,
+    slots: Vec<OnceLock<RunResult>>,
+}
+
+impl JobPool {
+    pub(crate) fn new(jobs: Vec<Job>) -> Self {
+        let slots = jobs.iter().map(|_| OnceLock::new()).collect();
+        Self { jobs, slots }
+    }
+
+    /// One task per job, routing each result into its slot.
+    pub(crate) fn tasks(&self) -> Vec<Task<'_>> {
+        self.jobs
+            .iter()
+            .zip(&self.slots)
+            .map(|(job, slot)| {
+                Task::new(job.label.clone(), move || {
+                    let result = reqblock_sim::run_source(&job.cfg, &job.source);
+                    let ok = slot.set(result).is_ok();
+                    debug_assert!(ok, "job slot filled twice");
+                })
+            })
+            .collect()
+    }
+
+    /// Labelled results in job order (call after the pool has drained).
+    pub(crate) fn take_results(self) -> Vec<(String, RunResult)> {
+        self.jobs
+            .into_iter()
+            .zip(take_slots(self.slots))
+            .map(|(job, result)| (job.label, result))
+            .collect()
+    }
+}
+
+/// One task per profile, routing `f(opts, profile)` into the matching slot.
+pub(crate) fn per_trace_tasks<'s, T: Send + Sync>(
+    prefix: &str,
+    opts: &'s Opts,
+    profiles: &'s [WorkloadProfile],
+    slots: &'s [OnceLock<T>],
+    f: &'s (dyn Fn(&Opts, &WorkloadProfile) -> T + Sync),
+) -> Vec<Task<'s>> {
+    profiles
+        .iter()
+        .zip(slots)
+        .map(|(profile, slot)| {
+            Task::new(format!("{prefix}/{}", profile.name), move || {
+                let ok = slot.set(f(opts, profile)).is_ok();
+                debug_assert!(ok, "probe slot filled twice");
+            })
+        })
+        .collect()
+}
+
+/// Run `f` once per paper profile on a pool and return results in profile
+/// order (the standalone path for probed figures; `repro all` submits the
+/// same tasks into the shared pool instead).
+fn per_trace<T: Send + Sync>(
+    prefix: &str,
+    opts: &Opts,
+    f: impl Fn(&Opts, &WorkloadProfile) -> T + Sync,
+) -> Vec<T> {
+    let profiles = opts.profiles();
+    let slots: Vec<OnceLock<T>> = profiles.iter().map(|_| OnceLock::new()).collect();
+    run_task_pool(per_trace_tasks(prefix, opts, &profiles, &slots, &f), opts.threads);
+    take_slots(slots)
+}
+
+/// [`reqblock_sim::run_jobs`] via a [`JobPool`] (same semantics; kept as a
+/// helper so the per-figure entry points stay one-liners).
+pub(crate) fn run_pool(jobs: Vec<Job>, threads: usize) -> Vec<(String, RunResult)> {
+    let pool = JobPool::new(jobs);
+    run_task_pool(pool.tasks(), threads);
+    pool.take_results()
 }
 
 // ---------------------------------------------------------------------
@@ -108,9 +219,18 @@ pub const TABLE2_PAPER: [(&str, u64, f64, f64, f64, f64); 6] = [
     ("proj_0", 4_224_525, 0.875, 40.9, 0.625, 0.599),
 ];
 
-/// Table 2: paper trace specifications vs the synthetic traces' measured
-/// statistics (at the harness scale).
-pub fn table2(opts: &Opts) -> Table {
+/// Table 2 probe for one trace: measured statistics over the shared slice.
+pub(crate) fn table2_stats(opts: &Opts, profile: &WorkloadProfile) -> TraceStats {
+    let requests = opts.shared_for(profile);
+    let mut b = StatsBuilder::new();
+    for req in requests.iter() {
+        b.add(req);
+    }
+    b.finish()
+}
+
+/// Render Table 2 from the per-trace statistics (profile order).
+pub(crate) fn table2_build(opts: &Opts, stats: Vec<TraceStats>) -> Table {
     let mut t = Table::new(
         format!("Table 2 - Trace specifications (synthetic, scale {})", opts.scale),
         &[
@@ -127,12 +247,7 @@ pub fn table2(opts: &Opts) -> Table {
             "Frequent Wr (ours)",
         ],
     );
-    for (profile, paper) in opts.profiles().into_iter().zip(TABLE2_PAPER) {
-        let mut b = StatsBuilder::new();
-        for req in opts.requests_for(&profile) {
-            b.add(&req);
-        }
-        let s = b.finish();
+    for ((profile, paper), s) in opts.profiles().into_iter().zip(TABLE2_PAPER).zip(stats) {
         t.push_row(vec![
             profile.name.clone(),
             paper.1.to_string(),
@@ -150,6 +265,12 @@ pub fn table2(opts: &Opts) -> Table {
     t
 }
 
+/// Table 2: paper trace specifications vs the synthetic traces' measured
+/// statistics (at the harness scale). Probes run in parallel per trace.
+pub fn table2(opts: &Opts) -> Table {
+    table2_build(opts, per_trace("table2", opts, table2_stats))
+}
+
 // ---------------------------------------------------------------------
 // Figures 2 and 3 (shared runs: LRU, 16 MB, probed)
 // ---------------------------------------------------------------------
@@ -157,8 +278,58 @@ pub fn table2(opts: &Opts) -> Table {
 /// Request-size thresholds (pages) at which the Figure 2 CDFs are reported.
 pub const FIG2_SIZES: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
-/// Figures 2 and 3 from one probed LRU/16MB run per trace.
-pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
+/// Per-trace result of the probed Figure 2/3 run.
+pub(crate) struct Fig23Row {
+    name: String,
+    threshold: u32,
+    insert_cdf: Vec<f64>,
+    hit_cdf: Vec<f64>,
+    episodes: u64,
+    episodes_hit: u64,
+    hit_fraction: f64,
+}
+
+/// Figure 2/3 probe for one trace: one LRU/16MB run feeding both figure
+/// consumers through a fanout recorder.
+pub(crate) fn fig23_probe(opts: &Opts, profile: &WorkloadProfile) -> Fig23Row {
+    let requests = opts.shared_for(profile);
+    // The paper's "small" cut-off: the trace's mean request size.
+    let mut b = StatsBuilder::new();
+    for req in requests.iter() {
+        b.add(req);
+    }
+    let s = b.finish();
+    let total_reqs = s.requests;
+    let mean_req_pages = if total_reqs == 0 {
+        1.0
+    } else {
+        s.total_page_accesses as f64 / total_reqs as f64
+    };
+    let threshold = mean_req_pages.round().max(1.0) as u32;
+
+    let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
+    let mut cdf = SizeCdfProbe::new();
+    let mut large = LargeReqHitProbe::new(threshold);
+    {
+        let mut fan = Fanout::new();
+        fan.push(&mut cdf);
+        fan.push(&mut large);
+        run_trace_recorded(&cfg, requests.iter().copied(), &mut fan);
+    }
+    large.finish();
+    Fig23Row {
+        name: profile.name.clone(),
+        threshold,
+        insert_cdf: FIG2_SIZES.iter().map(|&s| cdf.insert_fraction_upto(s)).collect(),
+        hit_cdf: FIG2_SIZES.iter().map(|&s| cdf.hit_fraction_upto(s)).collect(),
+        episodes: large.episodes,
+        episodes_hit: large.episodes_hit,
+        hit_fraction: large.hit_fraction(),
+    }
+}
+
+/// Render Figures 2 and 3 from the per-trace probe rows (profile order).
+pub(crate) fn fig23_build(rows: Vec<Fig23Row>) -> (Table, Table) {
     let mut fig2 = Table::new(
         "Figure 2 - CDF of page inserts and hits vs write request size (16MB cache, LRU)",
         &{
@@ -174,54 +345,28 @@ pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
         "Figure 3 - Hit statistics of large-request pages (16MB cache, LRU)",
         &["Trace", "Large threshold (pages)", "Pages hit", "Pages not hit", "Hit fraction"],
     );
-    for profile in opts.profiles() {
-        let requests = opts.requests_for(&profile);
-        // The paper's "small" cut-off: the trace's mean request size.
-        let mut b = StatsBuilder::new();
-        for req in &requests {
-            b.add(req);
-        }
-        let s = b.finish();
-        let total_reqs = s.requests;
-        let mean_req_pages = if total_reqs == 0 {
-            1.0
-        } else {
-            s.total_page_accesses as f64 / total_reqs as f64
-        };
-        let threshold = mean_req_pages.round().max(1.0) as u32;
-
-        let cfg = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru);
-        let mut cdf = SizeCdfProbe::new();
-        let mut large = LargeReqHitProbe::new(threshold);
-        {
-            // One run feeds both figure consumers through a fanout recorder.
-            let mut fan = Fanout::new();
-            fan.push(&mut cdf);
-            fan.push(&mut large);
-            run_trace_recorded(&cfg, requests, &mut fan);
-        }
-        large.finish();
-
-        let insert_row: Vec<String> =
-            FIG2_SIZES.iter().map(|&s| f3(cdf.insert_fraction_upto(s))).collect();
-        let hit_row: Vec<String> =
-            FIG2_SIZES.iter().map(|&s| f3(cdf.hit_fraction_upto(s))).collect();
-        let mut r1 = vec![profile.name.clone(), "Page Insert".into()];
-        r1.extend(insert_row);
+    for row in rows {
+        let mut r1 = vec![row.name.clone(), "Page Insert".into()];
+        r1.extend(row.insert_cdf.iter().map(|&v| f3(v)));
         fig2.push_row(r1);
-        let mut r2 = vec![profile.name.clone(), "Page Hit".into()];
-        r2.extend(hit_row);
+        let mut r2 = vec![row.name.clone(), "Page Hit".into()];
+        r2.extend(row.hit_cdf.iter().map(|&v| f3(v)));
         fig2.push_row(r2);
-
         fig3.push_row(vec![
-            profile.name.clone(),
-            threshold.to_string(),
-            large.episodes_hit.to_string(),
-            (large.episodes - large.episodes_hit).to_string(),
-            pct(large.hit_fraction()),
+            row.name,
+            row.threshold.to_string(),
+            row.episodes_hit.to_string(),
+            (row.episodes - row.episodes_hit).to_string(),
+            pct(row.hit_fraction),
         ]);
     }
     (fig2, fig3)
+}
+
+/// Figures 2 and 3 from one probed LRU/16MB run per trace (probes run in
+/// parallel per trace).
+pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
+    fig23_build(per_trace("fig2_fig3", opts, fig23_probe))
 }
 
 // ---------------------------------------------------------------------
@@ -231,11 +376,9 @@ pub fn fig2_fig3(opts: &Opts) -> (Table, Table) {
 /// Delta values swept by the Figure 7 reproduction.
 pub const FIG7_DELTAS: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 9];
 
-/// Figure 7: hit ratio and response time of Req-block at 32 MB for a range
-/// of delta values, normalized to delta = 1.
-pub fn fig7(opts: &Opts) -> (Table, Table) {
-    let jobs: Vec<Job> = opts
-        .profiles()
+/// The Figure 7 grid: one Req-block/32MB job per (trace, delta).
+pub(crate) fn fig7_jobs(opts: &Opts) -> Vec<Job> {
+    opts.profiles()
         .into_iter()
         .flat_map(|profile| {
             FIG7_DELTAS.into_iter().map(move |delta| Job {
@@ -247,9 +390,11 @@ pub fn fig7(opts: &Opts) -> (Table, Table) {
                 source: opts.source_for(&profile),
             })
         })
-        .collect();
-    let results = run_jobs(&jobs, opts.threads);
+        .collect()
+}
 
+/// Render Figure 7 from the grid results (job order of [`fig7_jobs`]).
+pub(crate) fn fig7_build(opts: &Opts, results: Vec<(String, RunResult)>) -> (Table, Table) {
     let delta_cols: Vec<String> = FIG7_DELTAS.iter().map(|d| format!("d={d}")).collect();
     let mut cols: Vec<&str> = vec!["Trace"];
     cols.extend(delta_cols.iter().map(|s| s.as_str()));
@@ -279,6 +424,12 @@ pub fn fig7(opts: &Opts) -> (Table, Table) {
         resp.push_row(rrow);
     }
     (hits, resp)
+}
+
+/// Figure 7: hit ratio and response time of Req-block at 32 MB for a range
+/// of delta values, normalized to delta = 1.
+pub fn fig7(opts: &Opts) -> (Table, Table) {
+    fig7_build(opts, run_pool(fig7_jobs(opts), opts.threads))
 }
 
 // ---------------------------------------------------------------------
@@ -314,14 +465,12 @@ impl Comparison {
 /// Policy display names in the paper's comparison order.
 pub const COMPARISON_POLICIES: [&str; 4] = ["LRU", "BPLRU", "VBBMS", "Req-block"];
 
-/// Run the full comparison grid (4 policies x 3 cache sizes x 6 traces).
-pub fn comparison(opts: &Opts) -> Comparison {
+/// The comparison grid's jobs, in (trace, cache, policy) nesting order.
+pub(crate) fn comparison_jobs(opts: &Opts) -> Vec<Job> {
     let mut jobs = Vec::new();
-    let mut keys = Vec::new();
     for profile in opts.profiles() {
         for cache in CacheSizeMb::ALL {
             for policy in PolicyKind::paper_comparison() {
-                keys.push((profile.name.clone(), cache, policy.name()));
                 jobs.push(Job {
                     label: format!("{}/{}/{}", profile.name, cache, policy.name()),
                     cfg: SimConfig::paper(cache, policy),
@@ -330,7 +479,21 @@ pub fn comparison(opts: &Opts) -> Comparison {
             }
         }
     }
-    let results = run_jobs(&jobs, opts.threads);
+    jobs
+}
+
+/// Assemble the [`Comparison`] from grid results (job order of
+/// [`comparison_jobs`] — the key rebuild walks the same nesting).
+pub(crate) fn comparison_build(opts: &Opts, results: Vec<(String, RunResult)>) -> Comparison {
+    let mut keys = Vec::new();
+    for profile in opts.profiles() {
+        for cache in CacheSizeMb::ALL {
+            for policy in PolicyKind::paper_comparison() {
+                keys.push((profile.name.clone(), cache, policy.name()));
+            }
+        }
+    }
+    debug_assert_eq!(keys.len(), results.len());
     let perf = results
         .iter()
         .map(|(label, r)| (label.clone(), r.host_elapsed_s, r.metrics.requests))
@@ -345,6 +508,11 @@ pub fn comparison(opts: &Opts) -> Comparison {
         traces: opts.profiles().iter().map(|p| p.name.clone()).collect(),
         perf,
     }
+}
+
+/// Run the full comparison grid (4 policies x 3 cache sizes x 6 traces).
+pub fn comparison(opts: &Opts) -> Comparison {
+    comparison_build(opts, run_pool(comparison_jobs(opts), opts.threads))
 }
 
 /// Replay-throughput summary of the comparison grid: host wall-clock and
@@ -532,12 +700,47 @@ pub fn summary(cmp: &Comparison) -> Table {
 // Figure 13: list occupancy over time
 // ---------------------------------------------------------------------
 
-/// Figure 13: Req-block per-list page counts sampled every `10_000 * scale`
-/// requests at 32 MB (the paper samples every 10 000 at full scale). The
-/// samples come from the observability layer's periodic sampler: a
-/// [`MemoryRecorder`] attached to the run captures the
-/// `irl_pages`/`srl_pages`/`drl_pages` time series.
-pub fn fig13(opts: &Opts) -> (Table, Table) {
+/// Per-trace result of the probed Figure 13 run.
+pub(crate) struct Fig13Row {
+    name: String,
+    /// `(request index, [IRL, SRL, DRL] pages)` per sample.
+    samples: Vec<(u64, [u64; 3])>,
+    /// Mean share of cached pages per list over the samples.
+    shares: [f64; 3],
+}
+
+/// Figure 13 probe for one trace: a recorded Req-block/32MB run whose
+/// periodic sampler captures the `irl_pages`/`srl_pages`/`drl_pages` series.
+pub(crate) fn fig13_probe(opts: &Opts, profile: &WorkloadProfile) -> Fig13Row {
+    let sample_every = ((10_000.0 * opts.scale) as u64).max(100);
+    let cfg = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+        .with_sampling(SampleInterval::Requests(sample_every));
+    let mut rec = MemoryRecorder::default();
+    let requests = opts.shared_for(profile);
+    run_trace_recorded(&cfg, requests.iter().copied(), &mut rec);
+    let irl = rec.series_points("irl_pages");
+    let srl = rec.series_points("srl_pages");
+    let drl = rec.series_points("drl_pages");
+    let mut samples = Vec::new();
+    let mut sums = [0f64; 3];
+    let mut n = 0f64;
+    for ((&(idx, irl_v), &(_, srl_v)), &(_, drl_v)) in irl.iter().zip(srl).zip(drl) {
+        let occ = [irl_v, srl_v, drl_v];
+        samples.push((idx, [occ[0] as u64, occ[1] as u64, occ[2] as u64]));
+        let total: f64 = occ.iter().sum();
+        if total > 0.0 {
+            for i in 0..3 {
+                sums[i] += occ[i] / total;
+            }
+            n += 1.0;
+        }
+    }
+    let n = n.max(1.0);
+    Fig13Row { name: profile.name.clone(), samples, shares: [sums[0] / n, sums[1] / n, sums[2] / n] }
+}
+
+/// Render Figure 13 from the per-trace probe rows (profile order).
+pub(crate) fn fig13_build(opts: &Opts, rows: Vec<Fig13Row>) -> (Table, Table) {
     let sample_every = ((10_000.0 * opts.scale) as u64).max(100);
     let mut samples_table = Table::new(
         format!("Figure 13 - Req-block list occupancy (32MB, sampled every {sample_every} requests)"),
@@ -547,42 +750,33 @@ pub fn fig13(opts: &Opts) -> (Table, Table) {
         "Figure 13 (summary) - Mean share of cached pages per list",
         &["Trace", "IRL", "SRL", "DRL"],
     );
-    for profile in opts.profiles() {
-        let cfg = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
-            .with_sampling(SampleInterval::Requests(sample_every));
-        let mut rec = MemoryRecorder::default();
-        run_trace_recorded(&cfg, opts.requests_for(&profile), &mut rec);
-        let irl = rec.series_points("irl_pages");
-        let srl = rec.series_points("srl_pages");
-        let drl = rec.series_points("drl_pages");
-        let mut sums = [0f64; 3];
-        let mut n = 0f64;
-        for ((&(idx, irl_v), &(_, srl_v)), &(_, drl_v)) in irl.iter().zip(srl).zip(drl) {
-            let occ = [irl_v, srl_v, drl_v];
+    for row in rows {
+        for (idx, occ) in &row.samples {
             samples_table.push_row(vec![
-                profile.name.clone(),
+                row.name.clone(),
                 idx.to_string(),
-                (occ[0] as u64).to_string(),
-                (occ[1] as u64).to_string(),
-                (occ[2] as u64).to_string(),
+                occ[0].to_string(),
+                occ[1].to_string(),
+                occ[2].to_string(),
             ]);
-            let total: f64 = occ.iter().sum();
-            if total > 0.0 {
-                for i in 0..3 {
-                    sums[i] += occ[i] / total;
-                }
-                n += 1.0;
-            }
         }
-        let n = n.max(1.0);
         shares.push_row(vec![
-            profile.name.clone(),
-            pct(sums[0] / n),
-            pct(sums[1] / n),
-            pct(sums[2] / n),
+            row.name,
+            pct(row.shares[0]),
+            pct(row.shares[1]),
+            pct(row.shares[2]),
         ]);
     }
     (samples_table, shares)
+}
+
+/// Figure 13: Req-block per-list page counts sampled every `10_000 * scale`
+/// requests at 32 MB (the paper samples every 10 000 at full scale). The
+/// samples come from the observability layer's periodic sampler: a
+/// [`MemoryRecorder`] attached to each run captures the
+/// `irl_pages`/`srl_pages`/`drl_pages` time series; traces run in parallel.
+pub fn fig13(opts: &Opts) -> (Table, Table) {
+    fig13_build(opts, per_trace("fig13", opts, fig13_probe))
 }
 
 // ---------------------------------------------------------------------

@@ -14,11 +14,14 @@
 //! | `figures::fig13` | Figure 13 — Req-block list occupancy over time |
 //!
 //! The `repro` binary exposes them as subcommands; results are printed and
-//! written into `results/`.
+//! written into `results/`. `repro all` goes through [`sweep::run_all`],
+//! which submits every figure's jobs into one barrier-free work pool and
+//! renders identical tables from the pooled results.
 
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod sweep;
 
 pub use figures::Opts;
 pub use report::Table;

@@ -1,0 +1,155 @@
+//! The barrier-free full sweep behind `repro all`.
+//!
+//! The per-figure entry points each run their own job pool, which puts a
+//! barrier between figures: the last straggler of figure N gates every job
+//! of figure N+1, and on a multi-core host the tail of each pool leaves
+//! workers idle. [`run_all`] removes those barriers by planning every
+//! figure up front (the `*_jobs` / `*_probe` halves of the plan/build
+//! splits in [`figures`](crate::figures) and
+//! [`extensions`](crate::extensions)), submitting all tasks into one
+//! [`run_task_pool`], and running the pure `*_build` halves afterwards.
+//! Result routing is order-preserving — each task writes into its own
+//! pre-allocated slot — so the emitted tables are byte-identical to the
+//! sequential per-figure path at any thread count.
+//!
+//! The task list leads with the Table 2 statistics probes: they touch every
+//! workload first, so the shared trace cache (`reqblock_trace::shared`) is
+//! warmed once per (source, scale) and every later job replays the same
+//! `Arc<[Request]>` slice zero-copy.
+
+use crate::extensions::{
+    ablations_build, ablations_jobs, fault_build, fault_jobs, tails_build, tails_jobs, wear_build,
+    wear_jobs,
+};
+use crate::figures::{
+    comparison_build, comparison_jobs, fig13_build, fig13_probe, fig23_build, fig23_probe,
+    fig7_build, fig7_jobs, per_trace_tasks, perf_table, policy_means, summary, table1,
+    table2_build, table2_stats, take_slots, telemetry, fig10, fig11, fig12, fig8, fig9, JobPool,
+    Opts,
+};
+use crate::report::Table;
+use reqblock_sim::{run_task_pool, Task};
+use std::sync::OnceLock;
+
+/// The trace instrumented by the sweep's telemetry run.
+pub const TELEMETRY_TRACE: &str = "ts_0";
+
+/// Everything `repro all` emits, in emission order.
+pub struct AllArtifacts {
+    /// `(section name, tables)` pairs matching the per-figure output files
+    /// (`table1`, `table2`, `fig2` ... `faults`, `telemetry_ts_0`).
+    pub sections: Vec<(String, Vec<Table>)>,
+    /// Mean normalized response time per policy (terminal bar chart).
+    pub resp_chart: Vec<(String, f64)>,
+    /// Mean normalized hit ratio per policy (terminal bar chart).
+    pub hit_chart: Vec<(String, f64)>,
+    /// JSONL telemetry document of the instrumented [`TELEMETRY_TRACE`] run.
+    pub telemetry_jsonl: String,
+}
+
+/// Run every figure, table, and extension of `repro all` on one shared,
+/// barrier-free work pool with `opts.threads` workers.
+pub fn run_all(opts: &Opts) -> AllArtifacts {
+    let profiles = opts.profiles();
+    // Result slots for the probed figures and the telemetry run. Declared
+    // before the task list so the tasks' borrows stay valid until the pool
+    // has drained.
+    let table2_slots: Vec<OnceLock<_>> = profiles.iter().map(|_| OnceLock::new()).collect();
+    let fig23_slots: Vec<OnceLock<_>> = profiles.iter().map(|_| OnceLock::new()).collect();
+    let fig13_slots: Vec<OnceLock<_>> = profiles.iter().map(|_| OnceLock::new()).collect();
+    let telemetry_slot: OnceLock<(String, Table)> = OnceLock::new();
+    let probe_table2 = table2_stats;
+    let probe_fig23 = fig23_probe;
+    let probe_fig13 = fig13_probe;
+    let fig7_pool = JobPool::new(fig7_jobs(opts));
+    let cmp_pool = JobPool::new(comparison_jobs(opts));
+    let tails_pool = JobPool::new(tails_jobs(opts));
+    let wear_pool = JobPool::new(wear_jobs(opts));
+    let ablations_pool = JobPool::new(ablations_jobs(opts));
+    let fault_pool = JobPool::new(fault_jobs(opts));
+
+    // One flat task list. Tasks are claimed in order, so the cheap Table 2
+    // statistics probes run first and warm the shared trace cache for the
+    // simulation grids behind them.
+    let mut tasks = Vec::new();
+    tasks.extend(per_trace_tasks("table2", opts, &profiles, &table2_slots, &probe_table2));
+    tasks.extend(per_trace_tasks("fig2_fig3", opts, &profiles, &fig23_slots, &probe_fig23));
+    tasks.extend(fig7_pool.tasks());
+    tasks.extend(cmp_pool.tasks());
+    tasks.extend(per_trace_tasks("fig13", opts, &profiles, &fig13_slots, &probe_fig13));
+    tasks.extend(tails_pool.tasks());
+    tasks.extend(wear_pool.tasks());
+    tasks.extend(ablations_pool.tasks());
+    tasks.extend(fault_pool.tasks());
+    tasks.push(Task::new(format!("telemetry/{TELEMETRY_TRACE}"), || {
+        let ok = telemetry_slot.set(telemetry(opts, TELEMETRY_TRACE)).is_ok();
+        debug_assert!(ok, "telemetry slot filled twice");
+    }));
+    run_task_pool(tasks, opts.threads);
+
+    // Pure builds, in the emission order of `repro all`.
+    let (fig2_t, fig3_t) = fig23_build(take_slots(fig23_slots));
+    let (fig7_hits, fig7_resp) = fig7_build(opts, fig7_pool.take_results());
+    let cmp = comparison_build(opts, cmp_pool.take_results());
+    let (fig13_samples, fig13_shares) = fig13_build(opts, take_slots(fig13_slots));
+    let means = policy_means(&cmp);
+    let (telemetry_jsonl, telemetry_table) =
+        telemetry_slot.into_inner().expect("pool task must have filled the telemetry slot");
+    let sections = vec![
+        ("table1".to_string(), vec![table1()]),
+        ("table2".to_string(), vec![table2_build(opts, take_slots(table2_slots))]),
+        ("fig2".to_string(), vec![fig2_t]),
+        ("fig3".to_string(), vec![fig3_t]),
+        ("fig7".to_string(), vec![fig7_hits, fig7_resp]),
+        ("fig8".to_string(), vec![fig8(&cmp)]),
+        ("fig9".to_string(), vec![fig9(&cmp)]),
+        ("fig10".to_string(), vec![fig10(&cmp)]),
+        ("fig11".to_string(), vec![fig11(&cmp)]),
+        ("fig12".to_string(), vec![fig12(&cmp)]),
+        ("summary".to_string(), vec![summary(&cmp)]),
+        ("perf".to_string(), vec![perf_table(&cmp)]),
+        ("fig13".to_string(), vec![fig13_shares, fig13_samples]),
+        ("tails".to_string(), vec![tails_build(tails_pool.take_results())]),
+        ("wear".to_string(), vec![wear_build(wear_pool.take_results())]),
+        ("ablations".to_string(), vec![ablations_build(ablations_pool.take_results())]),
+        ("faults".to_string(), vec![fault_build(fault_pool.take_results())]),
+        (format!("telemetry_{TELEMETRY_TRACE}"), vec![telemetry_table]),
+    ];
+    AllArtifacts {
+        sections,
+        resp_chart: means.iter().map(|(n, r, _)| (n.clone(), *r)).collect(),
+        hit_chart: means.iter().map(|(n, _, h)| (n.clone(), *h)).collect(),
+        telemetry_jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn run_all_covers_every_section_once() {
+        let opts =
+            Opts { scale: 0.001, threads: 2, out_dir: PathBuf::from("/tmp"), trace_dir: None };
+        let art = run_all(&opts);
+        let names: Vec<&str> = art.sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "table1", "table2", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "fig12", "summary", "perf", "fig13", "tails", "wear", "ablations", "faults",
+                "telemetry_ts_0"
+            ]
+        );
+        for (name, tables) in &art.sections {
+            assert!(!tables.is_empty(), "{name} has no tables");
+            for t in tables {
+                assert!(!t.rows.is_empty(), "{name} has an empty table");
+            }
+        }
+        assert_eq!(art.resp_chart.len(), 4);
+        assert_eq!(art.hit_chart.len(), 4);
+        assert!(art.telemetry_jsonl.starts_with("{\"type\":\"run_meta\""));
+    }
+}

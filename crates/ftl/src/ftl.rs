@@ -128,6 +128,15 @@ pub struct Ftl {
     fstats: FaultStats,
     /// Degradation state; once `ReadOnly`, writes are rejected for good.
     health: Health,
+    /// Cached [`SsdConfig::gc_free_blocks_floor`]: the GC floor while no
+    /// block has retired, hoisted off the per-page write path so batched
+    /// flushes don't redo the float math for every page.
+    gc_floor_healthy: usize,
+    /// Per-chip scratch for [`Ftl::write_pages`]: `true` while the chip's
+    /// free-block count is known to sit at/above the GC floor within the
+    /// current batch, letting later pages of the batch skip the GC re-check
+    /// until an allocation opens a fresh block.
+    gc_checked: Vec<bool>,
 }
 
 impl Ftl {
@@ -150,12 +159,14 @@ impl Ftl {
                 .map(|_| ChipDomain { blocks: ChipBlocks::new(cfg), picker: GreedyPicker::new() })
                 .collect(),
             cursor: 0,
-            cfg: cfg.clone(),
             stats: FtlStats::default(),
             obs: FtlObs::default(),
             faults: FaultModel::new(faults),
             fstats: FaultStats::default(),
             health: Health::default(),
+            gc_floor_healthy: cfg.gc_free_blocks_floor(),
+            gc_checked: vec![false; cfg.total_chips()],
+            cfg: cfg.clone(),
         }
     }
 
@@ -317,7 +328,7 @@ impl Ftl {
     fn gc_floor(&self, chip: usize) -> usize {
         let blocks = &self.chips[chip].blocks;
         if blocks.bad_count() == 0 {
-            return self.cfg.gc_free_blocks_floor();
+            return self.gc_floor_healthy;
         }
         ((blocks.usable_count() as f64) * self.cfg.gc_threshold).ceil() as usize
     }
@@ -502,8 +513,50 @@ impl Ftl {
         }
     }
 
+    /// [`Ftl::program_one`] for the zero-fault path of a batch: identical
+    /// timeline ops in identical order, but the GC re-check is skipped while
+    /// this batch has already established that the chip's free-block count
+    /// sits at/above the floor and nothing has moved it since.
+    ///
+    /// Exactness: between two programs on a chip, `free_count` only changes
+    /// when an allocation opens a fresh block (GC runs to completion inside
+    /// `maybe_gc`; invalidations never free blocks), and the floor itself
+    /// only changes when a block retires (impossible on the inert path). So
+    /// when the post-check state was `free >= floor` and `free_count` is
+    /// unchanged, `maybe_gc` is provably a no-op and skipping it cannot
+    /// alter which GC runs happen or when — the pinned golden counters and
+    /// response times stay bit-identical.
+    #[inline]
+    fn program_one_batched(&mut self, chip: usize, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> u64 {
+        assert!(lpn < self.logical_pages(), "LPN {lpn} beyond device");
+        if !self.gc_checked[chip] {
+            self.maybe_gc(chip, at, tl);
+            // Only mark the chip safe when it ended above the floor; under
+            // space pressure (free below floor with no reclaimable victim)
+            // the unbatched path re-checks before every program — later
+            // invalidations of this very batch can mint a victim — so the
+            // batched path must re-check too.
+            self.gc_checked[chip] = self.chips[chip].blocks.free_count() >= self.gc_floor(chip);
+        }
+        self.invalidate_lpn(lpn);
+        let free_before = self.chips[chip].blocks.free_count();
+        self.allocate_mapped(chip, lpn);
+        if self.chips[chip].blocks.free_count() != free_before {
+            // The allocation opened a fresh block: GC gets its usual look
+            // before the next program on this chip.
+            self.gc_checked[chip] = false;
+        }
+        tl.program(&self.cfg, chip, at, Origin::User).end_ns
+    }
+
     /// Flush a batch of pages at `at` with the given placement policy.
     /// Returns the completion time of the slowest page (the batch finish).
+    ///
+    /// On the zero-fault path the batch is walked with per-chip GC state
+    /// hoisted out of the page loop (`program_one_batched`); the
+    /// timeline operations themselves stay strictly in per-page order —
+    /// reordering them per chip would change channel-bus interleaving and
+    /// with it every completion time (see DESIGN.md).
     pub fn write_pages(
         &mut self,
         lpns: &[Lpn],
@@ -523,6 +576,19 @@ impl Ftl {
         let chips = self.chips.len();
         let mut done = at;
         match placement {
+            Placement::Striped if self.faults.is_inert() => {
+                self.gc_checked.iter_mut().for_each(|c| *c = false);
+                let mut cursor = self.cursor;
+                for &lpn in lpns {
+                    let chip = cursor;
+                    cursor += 1;
+                    if cursor == chips {
+                        cursor = 0;
+                    }
+                    done = done.max(self.program_one_batched(chip, lpn, at, tl));
+                }
+                self.cursor = cursor;
+            }
             Placement::Striped => {
                 for &lpn in lpns {
                     let chip = self.cursor;
@@ -533,8 +599,15 @@ impl Ftl {
             Placement::SingleBlock => {
                 let chip = self.cursor;
                 self.cursor = (self.cursor + 1) % chips;
-                for &lpn in lpns {
-                    done = done.max(self.program_one(chip, lpn, at, tl));
+                if self.faults.is_inert() {
+                    self.gc_checked[chip] = false;
+                    for &lpn in lpns {
+                        done = done.max(self.program_one_batched(chip, lpn, at, tl));
+                    }
+                } else {
+                    for &lpn in lpns {
+                        done = done.max(self.program_one(chip, lpn, at, tl));
+                    }
                 }
             }
         }

@@ -49,6 +49,6 @@ pub use machine::Ssd;
 pub use metrics::Metrics;
 pub use reqblock_obs::Histogram as LatencyHistogram;
 pub use runner::{
-    run_jobs, run_source, run_source_recorded, run_trace, run_trace_drained, run_trace_recorded,
-    Job, RunResult, TraceSource,
+    run_jobs, run_source, run_source_recorded, run_task_pool, run_trace, run_trace_drained,
+    run_trace_recorded, Job, RunResult, Task, TraceSource,
 };

@@ -27,6 +27,11 @@ pub struct Ssd {
     /// which the time-series sampler fires. Starts at 0 so the first
     /// request is always sampled.
     next_sample: u64,
+    /// Reused eviction-batch collection vector: taken at the top of each
+    /// request, drained batch by batch (each batch handed back to the
+    /// policy via [`WriteBuffer::recycle`] after its flush), and restored
+    /// at the end — no per-request or per-eviction allocation.
+    evict_scratch: Vec<EvictionBatch>,
 }
 
 impl Ssd {
@@ -46,6 +51,7 @@ impl Ssd {
             req_counter: 0,
             last_arrival_ns: 0,
             next_sample: 0,
+            evict_scratch: Vec::new(),
             cfg,
         }
     }
@@ -150,14 +156,13 @@ impl Ssd {
         self.metrics.requests += 1;
         self.last_arrival_ns = self.last_arrival_ns.max(at);
         let mut done = at;
-        let mut evictions: Vec<EvictionBatch> = Vec::new();
+        let mut evictions = std::mem::take(&mut self.evict_scratch);
         match req.op {
             OpType::Write => {
                 self.metrics.write_reqs += 1;
                 for lpn in req.lpns() {
                     self.logical_now += 1;
                     let a = Access { lpn, req_id, req_pages: pages as u32, now: self.logical_now };
-                    evictions.clear();
                     let hit = self.cache.write(&a, &mut evictions);
                     self.metrics.write_pages += 1;
                     if hit {
@@ -182,8 +187,9 @@ impl Ssd {
                     // striped placement bounds it to about one program
                     // latency, while BPLRU's single-block flushes serialize.
                     done = done.max(at + self.cfg.ssd.dram_access_ns);
-                    for batch in &evictions {
-                        done = done.max(self.flush_and_account(batch, at, on, rec));
+                    for batch in evictions.drain(..) {
+                        done = done.max(self.flush_and_account(&batch, at, on, rec));
+                        self.cache.recycle(batch);
                     }
                 }
             }
@@ -192,7 +198,6 @@ impl Ssd {
                 for lpn in req.lpns() {
                     self.logical_now += 1;
                     let a = Access { lpn, req_id, req_pages: pages as u32, now: self.logical_now };
-                    evictions.clear();
                     let hit = self.cache.read(&a, &mut evictions);
                     self.metrics.read_pages += 1;
                     if hit {
@@ -213,12 +218,14 @@ impl Ssd {
                     }
                     // Read-caching policies (CFLRU ablation) may evict here;
                     // same synchronous stall as the write path.
-                    for batch in &evictions {
-                        done = done.max(self.flush_and_account(batch, at, on, rec));
+                    for batch in evictions.drain(..) {
+                        done = done.max(self.flush_and_account(&batch, at, on, rec));
+                        self.cache.recycle(batch);
                     }
                 }
             }
         }
+        self.evict_scratch = evictions;
         let response = done.saturating_sub(at);
         self.metrics.record_response(response);
         if self.cfg.overhead_sample_every > 0 && req_id.is_multiple_of(self.cfg.overhead_sample_every) {

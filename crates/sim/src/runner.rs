@@ -122,21 +122,68 @@ impl TraceSource {
     /// Materialize the request stream. Panics on unreadable/invalid trace
     /// files — experiment grids should fail loudly, not silently skip runs.
     ///
-    /// Replay paths should prefer [`TraceSource::for_each_request`], which
-    /// never builds the full `Vec<Request>`.
+    /// Replay paths should prefer [`TraceSource::for_each_request`] (which
+    /// iterates the shared cache slice zero-copy when the cache is on) or
+    /// [`TraceSource::shared_requests`] (which shares one materialization
+    /// across jobs) over this per-call copy.
     pub fn requests(&self) -> Vec<Request> {
         let mut out = Vec::new();
         self.for_each_request(|r| out.push(r));
         out
     }
 
-    /// Stream the request stream in order without materializing it:
-    /// synthetic traces generate lazily, MSR files parse line by line
-    /// (two passes; see [`reqblock_trace::msr::stream_file`]). Panics on
-    /// unreadable/invalid trace files, like [`TraceSource::requests`].
-    pub fn for_each_request<F: FnMut(Request)>(&self, mut f: F) {
+    /// The materialized request slice for this source, shared process-wide
+    /// via [`reqblock_trace::shared`]: the first caller synthesizes/parses,
+    /// every later caller (and every concurrent sweep job) gets the same
+    /// `Arc<[Request]>` zero-copy. When the cache is disabled
+    /// (`REQBLOCK_TRACE_CACHE=0`), a fresh uncached slice is built per call.
+    /// Panics on unreadable/invalid trace files, like
+    /// [`TraceSource::requests`].
+    pub fn shared_requests(&self) -> std::sync::Arc<[Request]> {
+        use reqblock_trace::shared;
         match self {
             TraceSource::Synthetic(profile) => {
+                if shared::enabled() {
+                    shared::synthetic(profile)
+                } else {
+                    SyntheticTrace::new(profile.clone()).generate_all().into()
+                }
+            }
+            TraceSource::MsrFile(path) => {
+                let loaded = if shared::enabled() {
+                    shared::msr_file(path)
+                } else {
+                    reqblock_trace::msr::parse_file(path).map(std::sync::Arc::from)
+                };
+                loaded.unwrap_or_else(|e| panic!("cannot load trace {}: {e}", path.display()))
+            }
+        }
+    }
+
+    /// Stream the requests in order. With the shared trace cache on (the
+    /// default), this iterates the cached `Arc<[Request]>` slice — each
+    /// distinct trace is synthesized/parsed once per process, not once per
+    /// job. With the cache off it streams without materializing: synthetic
+    /// traces generate lazily, MSR files parse line by line (see
+    /// [`reqblock_trace::msr::stream_file`]). Panics on unreadable/invalid
+    /// trace files, like [`TraceSource::requests`].
+    pub fn for_each_request<F: FnMut(Request)>(&self, mut f: F) {
+        if reqblock_trace::shared::enabled() {
+            for &r in self.shared_requests().iter() {
+                f(r);
+            }
+            return;
+        }
+        self.for_each_request_uncached(f)
+    }
+
+    /// [`TraceSource::for_each_request`] bypassing the shared cache: always
+    /// regenerates/re-reads the trace, never touches cached state. The
+    /// equivalence tests use this as the ground truth the cache must match.
+    pub fn for_each_request_uncached<F: FnMut(Request)>(&self, f: F) {
+        match self {
+            TraceSource::Synthetic(profile) => {
+                let mut f = f;
                 for r in SyntheticTrace::new(profile.clone()) {
                     f(r);
                 }
@@ -191,8 +238,87 @@ impl Job {
     }
 }
 
-/// Run a grid of jobs on up to `threads` worker threads (std scoped threads;
-/// traces stream inside the worker, never materialized). Results keep job
+/// One unit of work for [`run_task_pool`]: a labelled closure. The closure
+/// owns its output routing (typically writing into a caller-held
+/// `OnceLock`/slot), which is what lets heterogeneous work — simulation
+/// jobs, trace-statistics probes, recorded telemetry runs — share a single
+/// pool with no barriers between the figures that submitted them.
+pub struct Task<'scope> {
+    /// Free-form label, reported when the task panics.
+    pub label: String,
+    /// The work. Runs exactly once on some worker thread.
+    pub work: Box<dyn FnOnce() + Send + 'scope>,
+}
+
+impl<'scope> Task<'scope> {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, work: impl FnOnce() + Send + 'scope) -> Self {
+        Self { label: label.into(), work: Box::new(work) }
+    }
+}
+
+impl std::fmt::Debug for Task<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
+/// Run every task on up to `threads` worker threads (std scoped threads)
+/// and return when all have finished. Tasks are claimed in submission order
+/// by whichever worker frees up first, so a slow task never idles the other
+/// workers — this is the barrier-free scheduler underneath `repro all`:
+/// every figure submits its tasks into one pool and collects results from
+/// the slots its closures filled.
+///
+/// If any task panics, the first panic is re-raised after the pool drains,
+/// prefixed with the failing task's label so sweep failures are debuggable.
+/// Workers stop claiming new tasks once a panic is recorded.
+pub fn run_task_pool(tasks: Vec<Task<'_>>, threads: usize) {
+    type Cell<'scope> = std::sync::Mutex<Option<Box<dyn FnOnce() + Send + 'scope>>>;
+    assert!(threads > 0, "need at least one worker");
+    let count = tasks.len();
+    let cells: Vec<Cell<'_>> = tasks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let mut labels = Vec::with_capacity(count);
+    for (task, cell) in tasks.into_iter().zip(&cells) {
+        labels.push(task.label);
+        *cell.lock().unwrap() = Some(task.work);
+    }
+    let next = AtomicUsize::new(0);
+    let failure: OnceLock<(usize, String)> = OnceLock::new();
+    let workers = threads.min(count).max(1);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if failure.get().is_some() {
+                    break;
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let work = cells[idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("task index dispatched twice");
+                if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(work)) {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    let _ = failure.set((idx, msg));
+                    break;
+                }
+            });
+        }
+    });
+    if let Some((idx, msg)) = failure.into_inner() {
+        panic!("worker running task '{}' panicked: {msg}", labels[idx]);
+    }
+}
+
+/// Run a grid of jobs on up to `threads` worker threads. Results keep job
 /// order. Each result carries its own host wall-clock duration
 /// ([`RunResult::host_elapsed_s`]), so grid summaries can report per-job
 /// replay throughput.
@@ -200,43 +326,22 @@ impl Job {
 /// Each worker writes its result into a dedicated per-job slot — no mutex,
 /// no label cloning on the hot path. If any worker panics, the panic is
 /// propagated with the failing job's label so grid failures are debuggable.
+/// This is a thin wrapper over [`run_task_pool`]; figure builders that want
+/// to share one pool across grids submit the tasks themselves.
 pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<(String, RunResult)> {
-    assert!(threads > 0, "need at least one worker");
-    let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<RunResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
-    let failure: OnceLock<(usize, String)> = OnceLock::new();
-    let workers = threads.min(jobs.len()).max(1);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[idx];
-                match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    run_source(&job.cfg, &job.source)
-                })) {
-                    Ok(result) => {
-                        let ok = slots[idx].set(result).is_ok();
-                        debug_assert!(ok, "job index {idx} dispatched twice");
-                    }
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        let _ = failure.set((idx, msg));
-                        break;
-                    }
-                }
-            });
-        }
-    });
-    if let Some((idx, msg)) = failure.into_inner() {
-        panic!("worker running job '{}' panicked: {msg}", jobs[idx].label);
-    }
+    let tasks: Vec<Task<'_>> = jobs
+        .iter()
+        .zip(&slots)
+        .map(|(job, slot)| {
+            Task::new(job.label.clone(), move || {
+                let result = run_source(&job.cfg, &job.source);
+                let ok = slot.set(result).is_ok();
+                debug_assert!(ok, "job slot filled twice");
+            })
+        })
+        .collect();
+    run_task_pool(tasks, threads);
     jobs.iter()
         .zip(slots)
         .map(|(job, slot)| {
@@ -351,6 +456,49 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("bad-job"), "panic should name the job: {msg}");
+    }
+
+    #[test]
+    fn task_pool_runs_every_task_once() {
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<Task<'_>> = hits
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                Task::new(format!("t{i}"), move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        run_task_pool(tasks, 4);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} must run exactly once");
+        }
+    }
+
+    #[test]
+    fn task_pool_propagates_panic_with_task_label() {
+        let tasks = vec![
+            Task::new("fine", || {}),
+            Task::new("exploding-task", || panic!("boom")),
+            Task::new("also-fine", || {}),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| run_task_pool(tasks, 2)))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("exploding-task"), "panic should name the task: {msg}");
+        assert!(msg.contains("boom"), "panic should carry the payload: {msg}");
+    }
+
+    #[test]
+    fn shared_source_matches_uncached_stream() {
+        let source = TraceSource::Synthetic(mini_profile());
+        let shared = source.shared_requests();
+        let mut streamed = Vec::new();
+        source.for_each_request_uncached(|r| streamed.push(r));
+        assert_eq!(&shared[..], &streamed[..]);
+        // A second materialization reuses the cached slice.
+        assert!(std::sync::Arc::ptr_eq(&shared, &source.shared_requests()));
     }
 
     #[test]

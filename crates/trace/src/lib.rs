@@ -12,6 +12,9 @@
 //!   `proj_0`). Each generator is seeded and fully deterministic.
 //! * [`stats`] — trace statistics reproducing the columns of Table 2
 //!   (request count, write ratio, mean write size, frequent-address ratios).
+//! * [`shared`] — process-wide trace cache: each distinct (source, scale) is
+//!   synthesized/parsed exactly once into an `Arc<[Request]>` and shared
+//!   zero-copy by every job of an evaluation sweep.
 //! * [`zipf`] — a Zipf-distributed sampler used by the generators to shape
 //!   the re-reference skew of small writes.
 //!
@@ -25,6 +28,7 @@
 pub mod msr;
 pub mod profiles;
 pub mod request;
+pub mod shared;
 pub mod stats;
 pub mod synth;
 pub mod zipf;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: release build, every test, clippy with warnings
-# denied, and the hot-path benchmark gates (including the <2% no-op
-# recorder overhead check) from scripts/bench.sh.
+# denied, and the benchmark gates from scripts/bench.sh — the hot-path
+# median gates (including the <2% no-op recorder overhead check) plus the
+# small-scale sweep gate (`repro all` pool median wall-clock, >5% median
+# regression fails).
 #
 # Usage: scripts/check.sh [--no-bench]
 #
