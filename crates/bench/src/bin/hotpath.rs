@@ -8,11 +8,13 @@
 //! requests/sec as JSON (the regression gate reads the median — it is
 //! robust to a single noisy repeat in either direction).
 //!
-//! Each policy is measured twice: once with the no-op recorder (the normal
-//! path — this is what the regression gate watches, since a disabled
-//! observability layer must cost ~nothing) and once with a full
-//! [`MemoryRecorder`] capturing page events and sampled time series. The
-//! JSON reports both plus the recording overhead percentage.
+//! Each policy is measured three times: with the no-op recorder (the normal
+//! synchronous path — this is what the regression gates watch, since a
+//! disabled observability layer must cost ~nothing), with a full
+//! [`MemoryRecorder`] capturing page events and sampled time series, and in
+//! queued submit mode (`Queued { depth: 8 }`) to track the host layer's
+//! flush-window overhead. The JSON reports all three plus the recording
+//! overhead percentage.
 //!
 //! ```text
 //! cargo run --release -p reqblock-bench --bin hotpath -- \
@@ -26,7 +28,7 @@ use reqblock_core::ReqBlockConfig;
 use reqblock_obs::MemoryRecorder;
 use reqblock_sim::{
     run_source, run_source_recorded, CacheSizeMb, PolicyKind, SampleInterval, SimConfig,
-    TraceSource,
+    SubmitMode, TraceSource,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -60,20 +62,23 @@ fn policy_name(policy: PolicyKind) -> &'static str {
     }
 }
 
-/// Best-of-`repeats` replay, measured twice per repeat: once with the no-op
-/// recorder (the normal path) and once with a full [`MemoryRecorder`]
-/// capturing page events plus time series sampled every 1000 requests.
-/// The two modes are interleaved inside every repeat so a load spike on a
-/// shared machine hits both the same way — sequential blocks would let
-/// background noise masquerade as (or hide) recording overhead.
+/// Best-of-`repeats` replay, measured three times per repeat: with the
+/// no-op recorder (the normal path), with a full [`MemoryRecorder`]
+/// capturing page events plus time series sampled every 1000 requests, and
+/// in queued submit mode (`Queued { depth: 8 }`, no-op recorder) to track
+/// the flush-window overhead of the host layer. The modes are interleaved
+/// inside every repeat so a load spike on a shared machine hits all of
+/// them the same way — sequential blocks would let background noise
+/// masquerade as (or hide) per-mode overhead.
 fn measure(
     policy: PolicyKind,
     source: &TraceSource,
     requests: u64,
     repeats: u32,
-) -> (PolicyResult, PolicyResult) {
+) -> (PolicyResult, PolicyResult, PolicyResult) {
     let cfg = SimConfig::paper(CacheSizeMb::Mb16, policy);
     let cfg_rec = cfg.clone().with_sampling(SampleInterval::Requests(1_000));
+    let cfg_queued = cfg.clone().with_submit(SubmitMode::Queued { depth: 8 });
     // Warm-up replays: page in code and the trace generator's tables.
     let warm = run_source(&cfg, source);
     let mut warm_rec = MemoryRecorder::default();
@@ -82,8 +87,14 @@ fn measure(
         warm.metrics, warm_recorded.metrics,
         "recording must not change the simulated model"
     );
+    let warm_queued = run_source(&cfg_queued, source);
+    assert_eq!(
+        warm.flash, warm_queued.flash,
+        "flash traffic must be depth-invariant across submit modes"
+    );
     let mut noop_times = Vec::with_capacity(repeats as usize);
     let mut recording_times = Vec::with_capacity(repeats as usize);
+    let mut queued_times = Vec::with_capacity(repeats as usize);
     for _ in 0..repeats {
         let t0 = Instant::now();
         let res = run_source(&cfg, source);
@@ -101,6 +112,14 @@ fn measure(
             res.metrics, warm.metrics,
             "recorded replay must be deterministic across repeats"
         );
+
+        let t0 = Instant::now();
+        let res = run_source(&cfg_queued, source);
+        queued_times.push(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            res.metrics, warm_queued.metrics,
+            "queued replay must be deterministic across repeats"
+        );
     }
     let result = |times: &[f64]| {
         let best = times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
@@ -114,7 +133,7 @@ fn measure(
             hit_ratio: warm.metrics.hit_ratio(),
         }
     };
-    (result(&noop_times), result(&recording_times))
+    (result(&noop_times), result(&recording_times), result(&queued_times))
 }
 
 fn push_policy_array(json: &mut String, key: &str, results: &[PolicyResult], last: bool) {
@@ -160,8 +179,15 @@ fn main() {
     eprintln!("hotpath: ts_0 x{scale} = {requests} requests, {repeats} repeats per policy");
 
     let policies = [PolicyKind::ReqBlock(ReqBlockConfig::paper()), PolicyKind::Lru];
-    let (noop, recording): (Vec<PolicyResult>, Vec<PolicyResult>) =
-        policies.iter().map(|&p| measure(p, &source, requests, repeats)).unzip();
+    let mut noop = Vec::new();
+    let mut recording = Vec::new();
+    let mut queued = Vec::new();
+    for &p in &policies {
+        let (n, r, q) = measure(p, &source, requests, repeats);
+        noop.push(n);
+        recording.push(r);
+        queued.push(q);
+    }
 
     for r in &noop {
         eprintln!(
@@ -176,6 +202,13 @@ fn main() {
             r.name, r.requests_per_sec, r.best_elapsed_ms, pct
         );
     }
+    for (n, q) in noop.iter().zip(&queued) {
+        let pct = (q.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;
+        eprintln!(
+            "hotpath: {:<9} queued qd8 {:>11.0} req/s  (best {:.1} ms, overhead {:+.1}%)",
+            q.name, q.requests_per_sec, q.best_elapsed_ms, pct
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -186,6 +219,7 @@ fn main() {
     let _ = writeln!(json, "  \"repeats\": {repeats},");
     push_policy_array(&mut json, "policies", &noop, false);
     push_policy_array(&mut json, "recording_policies", &recording, false);
+    push_policy_array(&mut json, "queued_policies", &queued, false);
     json.push_str("  \"recording_overhead_pct\": [\n");
     for (i, (n, r)) in noop.iter().zip(&recording).enumerate() {
         let pct = (r.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;

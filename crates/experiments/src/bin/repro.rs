@@ -17,6 +17,8 @@
 //!   ablations   extension: Req-block design-choice ablations (A1-A4)
 //!   faults      extension: seeded fault-rate sweep (retries, bad blocks,
 //!               remapped pages, device health)
+//!   qdepth      extension: X5 response time vs host queue depth (1-32)
+//!               per policy, queued submit mode
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
@@ -40,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|faults|telemetry|export|all>\n\
+          tails|wear|ablations|faults|qdepth|telemetry|export|all>\n\
          --threads defaults to the host's available parallelism; \
          --threads 1 is the explicit serial mode (identical output)"
     );
@@ -176,6 +178,7 @@ fn main() -> ExitCode {
         "wear" => emit(&opts, "wear", &[extensions::wear(&opts)]),
         "ablations" => emit(&opts, "ablations", &[extensions::ablations(&opts)]),
         "faults" => emit(&opts, "faults", &[extensions::fault_sweep(&opts)]),
+        "qdepth" => emit(&opts, "qdepth", &[extensions::qdepth_sweep(&opts)]),
         cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
             let trace = cmd.strip_prefix("telemetry").unwrap().trim();
             let trace = if trace.is_empty() { "ts_0" } else { trace };

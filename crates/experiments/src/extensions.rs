@@ -15,7 +15,8 @@ use crate::report::{f2, f3, Table};
 use reqblock_cache::policies::BplruConfig;
 use reqblock_core::{PriorityModel, ReqBlockConfig};
 use reqblock_sim::{
-    CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval, SimConfig, TraceSource,
+    CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval, SimConfig, SubmitMode,
+    TraceSource,
 };
 
 /// Percentile columns reported by [`tails`].
@@ -218,6 +219,7 @@ pub(crate) fn fault_jobs(opts: &Opts) -> Vec<Job> {
                     erase_fail_ppm: ppm,
                     ..FaultConfig::default()
                 },
+                submit: SubmitMode::Synchronous,
             },
             source: TraceSource::Synthetic(profile.clone()),
         })
@@ -262,6 +264,58 @@ pub(crate) fn fault_build(results: Vec<(String, RunResult)>) -> Table {
 /// Reliability extension: one workload replayed under rising fault rates.
 pub fn fault_sweep(opts: &Opts) -> Table {
     fault_build(run_pool(fault_jobs(opts), opts.threads))
+}
+
+/// Host queue depths swept by [`qdepth_sweep`] (X5).
+pub const QDEPTH_SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The X5 grid: the paper's four headline policies x [`QDEPTH_SWEEP`] host
+/// queue depths, replaying `ts_0` on the paper device with a 32 MB cache.
+///
+/// Depth 1 is definitionally the synchronous paper model (the property and
+/// golden tests pin the equality); deeper windows let eviction flushes
+/// retire in the background, so the sweep isolates how much of each
+/// policy's response time is buffer-induced stall that a queueing host
+/// could hide. Flash traffic is depth-invariant by construction.
+pub(crate) fn qdepth_jobs(opts: &Opts) -> Vec<Job> {
+    let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
+    let mut jobs = Vec::new();
+    for policy in PolicyKind::paper_comparison() {
+        for depth in QDEPTH_SWEEP {
+            jobs.push(Job {
+                label: format!("{}/qd{depth}", policy.name()),
+                cfg: SimConfig::paper(CacheSizeMb::Mb32, policy)
+                    .with_submit(SubmitMode::Queued { depth }),
+                source: TraceSource::Synthetic(profile.clone()),
+            });
+        }
+    }
+    jobs
+}
+
+/// Render the X5 table from grid results (order of [`qdepth_jobs`]).
+pub(crate) fn qdepth_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut t = Table::new(
+        "Extension - X5: response time vs host queue depth (ts_0, 32MB)",
+        &["Policy", "Depth", "Mean resp (ms)", "p99 (ms)", "Flush stalls", "Stall time (ms)"],
+    );
+    for (label, r) in results {
+        let (policy, depth) = label.rsplit_once("/qd").expect("qdepth label is policy/qdN");
+        t.push_row(vec![
+            policy.to_string(),
+            depth.to_string(),
+            f3(r.metrics.avg_response_ms()),
+            f3(r.metrics.response_percentile_ms(0.99)),
+            r.metrics.flush_stalls.to_string(),
+            f2(r.metrics.flush_stall_ns as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// X5 extension: mean and p99 response time vs host queue depth 1-32.
+pub fn qdepth_sweep(opts: &Opts) -> Table {
+    qdepth_build(run_pool(qdepth_jobs(opts), opts.threads))
 }
 
 #[cfg(test)]
@@ -324,5 +378,40 @@ mod tests {
         let a = fault_sweep(&tiny_opts());
         let b = fault_sweep(&tiny_opts());
         assert_eq!(a.rows, b.rows, "same seed + config must give identical tables");
+    }
+
+    #[test]
+    fn qdepth_sweep_covers_grid_and_depth_one_is_synchronous() {
+        let opts = tiny_opts();
+        let t = qdepth_sweep(&opts);
+        assert_eq!(t.rows.len(), 4 * QDEPTH_SWEEP.len());
+        let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
+        for policy in PolicyKind::paper_comparison() {
+            // The depth-1 row reports exactly what a synchronous run of the
+            // same job reports.
+            let cfg = SimConfig::paper(CacheSizeMb::Mb32, policy);
+            let sync = reqblock_sim::run_source(&cfg, &TraceSource::Synthetic(profile.clone()));
+            let row = t
+                .rows
+                .iter()
+                .find(|row| row[0] == policy.name() && row[1] == "1")
+                .expect("depth-1 row");
+            assert_eq!(row[2], f3(sync.metrics.avg_response_ms()), "{}", policy.name());
+            assert_eq!(row[3], f3(sync.metrics.response_percentile_ms(0.99)), "{}", policy.name());
+            assert_eq!(row[4], sync.metrics.flush_stalls.to_string(), "{}", policy.name());
+            // The deepest window can only hide stall time, never add it.
+            let stall_qd1: f64 = row[5].parse().unwrap();
+            let deepest = t
+                .rows
+                .iter()
+                .find(|row| row[0] == policy.name() && row[1] == "32")
+                .expect("depth-32 row");
+            let stall_qd32: f64 = deepest[5].parse().unwrap();
+            assert!(
+                stall_qd32 <= stall_qd1 + 1e-9,
+                "{}: qd32 stall {stall_qd32} > qd1 stall {stall_qd1}",
+                policy.name()
+            );
+        }
     }
 }

@@ -220,6 +220,20 @@ impl FlashTimeline {
         Completion { start_ns: xfer_start, end_ns: end }
     }
 
+    /// The device-wide completion horizon: the latest instant any channel
+    /// bus or chip array stays busy, i.e. when the last scheduled operation
+    /// finishes. 0 on an idle device.
+    ///
+    /// This is the natural upper edge of a utilization window: per-resource
+    /// busy time can never exceed its own horizon, so windowing
+    /// [`BusyStats::channel_utilization`] on `horizon_ns().max(now)` keeps
+    /// the ratio within `[0, 1]` even when service outruns arrivals.
+    pub fn horizon_ns(&self) -> u64 {
+        let ch = self.channel_free_ns.iter().copied().max().unwrap_or(0);
+        let chip = self.chip_free_ns.iter().copied().max().unwrap_or(0);
+        ch.max(chip)
+    }
+
     /// Schedule a block erase on `chip` no earlier than `at`.
     pub fn erase(&mut self, cfg: &SsdConfig, chip: ChipId, at: u64) -> Completion {
         let start = at.max(self.chip_free_ns[chip]);
@@ -382,6 +396,35 @@ mod tests {
         assert_eq!(b.chip_busy_ns[2], cfg.erase_latency_ns);
         assert_eq!(b.total_channel_busy_ns(), 0);
         assert_eq!(b.total_chip_busy_ns(), cfg.erase_latency_ns as u128);
+    }
+
+    #[test]
+    fn horizon_tracks_last_completion() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        assert_eq!(tl.horizon_ns(), 0, "idle device has no horizon");
+        let a = tl.program(&cfg, 0, 0, Origin::User);
+        assert_eq!(tl.horizon_ns(), a.end_ns);
+        let e = tl.erase(&cfg, 5, 0);
+        assert_eq!(tl.horizon_ns(), a.end_ns.max(e.end_ns));
+    }
+
+    #[test]
+    fn utilization_windowed_on_horizon_never_exceeds_one() {
+        // Overload: many same-channel programs all "arrive" at t = 0, so the
+        // horizon runs far past the last arrival. Windowed on the arrival
+        // clock utilization would be >> 1; windowed on the horizon it must
+        // stay within [0, 1].
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        for _ in 0..64 {
+            tl.program(&cfg, 0, 0, Origin::User);
+        }
+        let last_arrival = 0;
+        assert!(tl.horizon_ns() > last_arrival);
+        let util = tl.busy().channel_utilization(tl.horizon_ns().max(last_arrival));
+        assert!(util > 0.0);
+        assert!(util <= 1.0, "horizon-windowed utilization must be <= 1, got {util}");
     }
 
     #[test]

@@ -62,6 +62,22 @@ pub enum Health {
     ReadOnly,
 }
 
+/// Structured completion of one FTL call — what the simulator's device
+/// layer consumes instead of bare `u64` finish times (the host/engine/device
+/// seam, DESIGN.md §7.2). Purely descriptive: constructing one performs no
+/// extra timeline work beyond the wrapped call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// Completion time of the slowest page in the call, ns.
+    pub done_ns: u64,
+    /// How far past the issue time the call ran (`done_ns - at`), ns.
+    pub service_ns: u64,
+    /// Flash operations actually issued on behalf of this call: programs
+    /// for writes (0 when a degraded device rejected the batch), reads
+    /// including fault retries for reads.
+    pub flash_ops: u64,
+}
+
 /// Sentinel for "unmapped" in the dense translation tables.
 const UNMAPPED: u32 = u32::MAX;
 
@@ -658,6 +674,37 @@ impl Ftl {
             self.fstats.read_uncorrectable += 1;
         }
         done
+    }
+
+    /// [`Ftl::write_pages`] with a structured completion: the finish time
+    /// plus how many pages actually reached flash. A [`Health::ReadOnly`]
+    /// device rejects the whole batch and reports `flash_ops == 0`.
+    pub fn write_pages_completion(
+        &mut self,
+        lpns: &[Lpn],
+        at: u64,
+        placement: Placement,
+        tl: &mut FlashTimeline,
+    ) -> IoCompletion {
+        let before = tl.counters().user_programs;
+        let done_ns = self.write_pages(lpns, at, placement, tl);
+        IoCompletion {
+            done_ns,
+            service_ns: done_ns.saturating_sub(at),
+            flash_ops: tl.counters().user_programs - before,
+        }
+    }
+
+    /// [`Ftl::read_page`] with a structured completion; `flash_ops` counts
+    /// the flash reads actually issued, including fault-injection retries.
+    pub fn read_page_completion(&mut self, lpn: Lpn, at: u64, tl: &mut FlashTimeline) -> IoCompletion {
+        let before = tl.counters().user_reads;
+        let done_ns = self.read_page(lpn, at, tl);
+        IoCompletion {
+            done_ns,
+            service_ns: done_ns.saturating_sub(at),
+            flash_ops: tl.counters().user_reads - before,
+        }
     }
 
     /// Debug-grade consistency check: every l2p entry has a matching p2l

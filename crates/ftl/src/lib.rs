@@ -35,4 +35,4 @@ pub mod ftl;
 pub mod gc;
 
 pub use blocks::{BlockState, ChipBlocks};
-pub use ftl::{Ftl, FtlObs, FtlStats, Health, Placement};
+pub use ftl::{Ftl, FtlObs, FtlStats, Health, IoCompletion, Placement};

@@ -30,6 +30,7 @@
 
 pub mod histogram;
 pub mod recorder;
+pub mod series;
 pub mod telemetry;
 
 pub use histogram::Histogram;

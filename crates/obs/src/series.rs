@@ -1,0 +1,20 @@
+//! Well-known names for the host-layer time series and gauges.
+//!
+//! Producers pass series names as plain `&str` (the recorder vocabulary is
+//! stringly typed on purpose — see [`crate::Recorder`]); these constants
+//! exist so the host queue-depth instrumentation and its consumers (the X5
+//! sweep, telemetry readers) agree on spelling. Device-level series
+//! (`hit_ratio`, `chan_util`, ...) predate this module and stay literal at
+//! their emission sites, pinned by the golden telemetry tests.
+
+/// Outstanding asynchronous eviction flushes in the host window at sample
+/// time. Emitted only when the submit mode admits background flushes
+/// (`Queued { depth >= 2 }`), so synchronous telemetry is unchanged.
+pub const QDEPTH: &str = "qdepth";
+
+/// End-of-run gauge: the configured host queue depth.
+pub const HOST_QDEPTH: &str = "host_qdepth";
+
+/// End-of-run gauge: the largest number of flushes that were ever
+/// outstanding at once (high-water mark of [`QDEPTH`]).
+pub const HOST_MAX_OUTSTANDING: &str = "host_max_outstanding";

@@ -1,5 +1,6 @@
-//! Simulation configuration: SSD, cache size, and policy selection.
+//! Simulation configuration: SSD, cache size, policy and host-mode selection.
 
+use crate::host::SubmitMode;
 use reqblock_cache::policies::{
     BplruCache, BplruConfig, CflruCache, CflruConfig, FabCache, FifoCache, LfuCache, LruCache,
     PudLruCache, VbbmsCache, VbbmsConfig,
@@ -149,6 +150,10 @@ pub struct SimConfig {
     /// is zero-fault: behaviour (and golden metrics) identical to a run
     /// without the reliability layer.
     pub fault: FaultConfig,
+    /// How the host issues requests ([`SubmitMode`]). The default,
+    /// [`SubmitMode::Synchronous`], is the paper's one-at-a-time model and
+    /// is byte-identical to the pre-host-layer simulator.
+    pub submit: SubmitMode,
 }
 
 impl SimConfig {
@@ -161,6 +166,7 @@ impl SimConfig {
             overhead_sample_every: 1_000,
             sampling: SampleInterval::Off,
             fault: FaultConfig::default(),
+            submit: SubmitMode::Synchronous,
         }
     }
 
@@ -173,6 +179,7 @@ impl SimConfig {
             overhead_sample_every: 10,
             sampling: SampleInterval::Off,
             fault: FaultConfig::default(),
+            submit: SubmitMode::Synchronous,
         }
     }
 
@@ -186,6 +193,12 @@ impl SimConfig {
     /// seeds and rates reproduce the exact same failures run after run.
     pub fn with_faults(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Same config with a different host submit mode (builder-style).
+    pub fn with_submit(mut self, submit: SubmitMode) -> Self {
+        self.submit = submit;
         self
     }
 }

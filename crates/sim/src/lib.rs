@@ -15,9 +15,21 @@
 //! the mechanism that translates eviction-batch placement into the response
 //! time differences of the paper's Figure 8.
 //!
+//! The simulator core is split into three layers with explicit seams
+//! (DESIGN.md §7.2): the [`device`] layer times operations (cache + FTL +
+//! flash timeline behind the narrow [`Device`] API, returning structured
+//! [`device::Completion`]s), the [`engine`] layer owns request identity,
+//! metrics, sampling and telemetry, and the [`host`] layer decides how
+//! requests are issued via a pluggable [`SubmitMode`] —
+//! [`SubmitMode::Synchronous`] (the paper's one-at-a-time model,
+//! byte-identical to the pre-layering simulator) or
+//! [`SubmitMode::Queued`] (an outstanding-flush window of `depth - 1`
+//! background slots; the X5 queue-depth sweep).
+//!
 //! * [`SimConfig`]/[`PolicyKind`]/[`CacheSizeMb`] — run configuration.
-//! * [`machine::Ssd`] — the device model (`submit` one request at a time;
-//!   `submit_recorded` streams events into a [`reqblock_obs::Recorder`]).
+//! * [`host::Ssd`] — the host-facing façade (`submit` one request at a
+//!   time; `submit_recorded` streams events into a
+//!   [`reqblock_obs::Recorder`]).
 //! * [`Metrics`] — hit/response/eviction counters (Figures 8-11).
 //! * [`probes`] — figure-specific recorder consumers (Figures 2, 3).
 //! * [`runner`] — whole-trace execution and multi-run sweeps.
@@ -37,15 +49,19 @@
 //! these keys, so existing telemetry consumers see no change.
 
 pub mod config;
-pub mod machine;
+pub mod device;
+pub mod engine;
+pub mod host;
 pub mod metrics;
 pub mod probes;
 pub mod runner;
 
 pub use config::{CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
+pub use device::Device;
+pub use engine::Engine;
+pub use host::{FlushWindow, Ssd, SubmitMode};
 pub use reqblock_flash::{DegradedMode, FaultConfig, FaultStats};
 pub use reqblock_ftl::Health;
-pub use machine::Ssd;
 pub use metrics::Metrics;
 pub use reqblock_obs::Histogram as LatencyHistogram;
 pub use runner::{

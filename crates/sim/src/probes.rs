@@ -1,7 +1,7 @@
 //! Figure-specific consumers of the observability layer.
 //!
 //! These used to be a bespoke `Probe` mechanism; they are now ordinary
-//! [`Recorder`] implementations fed by [`crate::machine::Ssd::submit_recorded`],
+//! [`Recorder`] implementations fed by [`crate::host::Ssd::submit_recorded`],
 //! so figure instrumentation and run telemetry share one event stream.
 //! Two are provided:
 //!
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn probes_consume_a_recorded_run_via_fanout() {
         use crate::config::{PolicyKind, SimConfig};
-        use crate::machine::Ssd;
+        use crate::host::Ssd;
         use reqblock_obs::Fanout;
         use reqblock_trace::Request;
 

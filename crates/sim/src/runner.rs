@@ -1,7 +1,7 @@
 //! Whole-trace execution and multi-run sweeps.
 
 use crate::config::SimConfig;
-use crate::machine::Ssd;
+use crate::host::Ssd;
 use crate::metrics::Metrics;
 use reqblock_flash::{FaultStats, OpCounters};
 use reqblock_ftl::{FtlStats, Health};

@@ -10,6 +10,10 @@
 #           2% is below the noise floor of a busy machine, so this gate
 #           retries (keeping the best median per policy across attempts)
 #           and MUST be run on an otherwise idle box to be meaningful.
+#   gate 3 (tolerance 5%):  the refactored synchronous path vs the
+#           host_refactor section — the host/engine/device layering must
+#           not tax the paper-faithful one-at-a-time path. Queued-mode
+#           (qd8) throughput is reported alongside, informationally.
 #
 # Sweep gate (tolerance 5%): the `repro all` pool, cached + parallel, must
 #   not get slower than the committed median wall-clock. Like the 2% gate,
@@ -21,8 +25,8 @@
 # Usage: scripts/bench.sh [--scale S] [--repeats N] [--attempts N]
 #                         [--sweep-scale S] [--sweep-repeats N]
 #                         [--sweep-attempts N] [--no-sweep]
-#        NOOP_TOLERANCE=0.02 REGRESSION_TOLERANCE=0.20 SWEEP_TOLERANCE=0.05 \
-#            scripts/bench.sh
+#        NOOP_TOLERANCE=0.02 REGRESSION_TOLERANCE=0.20 SYNC_TOLERANCE=0.05 \
+#            SWEEP_TOLERANCE=0.05 scripts/bench.sh
 #
 # Numbers are wall-clock on whatever machine runs this; the committed
 # baselines were taken on a single-vCPU container.
@@ -70,13 +74,17 @@ import sys
 
 # Gate 1: real hot-path regressions. Gate 2: the disabled observability
 # layer must stay (near-)free; 2% is the acceptance bar from the obs PR.
+# Gate 3: the refactored synchronous path vs the host_refactor section;
+# 5% is the acceptance bar from the host/engine/device layering PR.
 REGRESSION_TOL = float(os.environ.get("REGRESSION_TOLERANCE", "0.20"))
 NOOP_TOL = float(os.environ.get("NOOP_TOLERANCE", "0.02"))
+SYNC_TOL = float(os.environ.get("SYNC_TOLERANCE", "0.05"))
 
 # Best *median* req/s per policy across all attempts: the median absorbs a
 # noisy repeat inside one attempt, the max across attempts absorbs a noisy
 # attempt on a shared machine.
 current = {}
+queued = {}
 overhead = {}
 for path in sys.argv[1:]:
     with open(path) as f:
@@ -84,14 +92,26 @@ for path in sys.argv[1:]:
     for p in run["policies"]:
         med = p.get("median_requests_per_sec", p["requests_per_sec"])
         current[p["name"]] = max(current.get(p["name"], 0.0), med)
+    for p in run.get("queued_policies", []):
+        med = p.get("median_requests_per_sec", p["requests_per_sec"])
+        queued[p["name"]] = max(queued.get(p["name"], 0.0), med)
     for o in run.get("recording_overhead_pct", []):
         overhead.setdefault(o["name"], []).append(o["pct"])
 
 with open("BENCH_hotpath.json") as f:
-    committed = {
-        p["name"]: p.get("median_requests_per_sec", p["requests_per_sec"])
-        for p in json.load(f)["batched"]["policies"]
-    }
+    baselines = json.load(f)
+committed = {
+    p["name"]: p.get("median_requests_per_sec", p["requests_per_sec"])
+    for p in baselines["batched"]["policies"]
+}
+sync_base = {
+    p["name"]: p.get("median_requests_per_sec", p["requests_per_sec"])
+    for p in baselines["host_refactor"]["policies"]
+}
+queued_base = {
+    p["name"]: p.get("median_requests_per_sec", p["requests_per_sec"])
+    for p in baselines["host_refactor"]["queued_policies"]
+}
 
 failed = False
 for name, base in sorted(committed.items()):
@@ -113,6 +133,28 @@ for name, base in sorted(committed.items()):
     rec = f", recording overhead {min(pcts):+.1f}%..{max(pcts):+.1f}%" if pcts else ""
     print(f"{name}: median {now:,.0f} req/s vs committed {base:,.0f} "
           f"({ratio:.2f}x) {verdict}{rec}")
+
+print("-- sync gate (host/engine/device layering, host_refactor baseline) --")
+for name, base in sorted(sync_base.items()):
+    now = current.get(name)
+    if now is None:
+        print(f"FAIL {name}: missing from bench output")
+        failed = True
+        continue
+    ratio = now / base
+    if ratio < 1.0 - SYNC_TOL:
+        verdict = f"FAIL (>{SYNC_TOL:.0%} synchronous-path regression)"
+        failed = True
+    else:
+        verdict = "ok"
+    print(f"{name}: sync median {now:,.0f} req/s vs committed {base:,.0f} "
+          f"({ratio:.2f}x) {verdict}")
+for name, base in sorted(queued_base.items()):
+    now = queued.get(name)
+    if now is None:
+        continue
+    print(f"{name}: queued qd8 median {now:,.0f} req/s "
+          f"(committed {base:,.0f}, {now / base:.2f}x, informational)")
 
 sys.exit(1 if failed else 0)
 PY

@@ -39,6 +39,7 @@ fn pressured_cfg(fault: FaultConfig) -> (SimConfig, TraceSource) {
         overhead_sample_every: 1_000,
         sampling: SampleInterval::Requests(2_000),
         fault,
+        submit: reqblock::sim::SubmitMode::Synchronous,
     };
     (cfg, TraceSource::Synthetic(ts_0().scaled(0.01)))
 }

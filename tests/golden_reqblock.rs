@@ -130,6 +130,7 @@ fn reqblock_golden_pressured_device_with_gc() {
         overhead_sample_every: 1_000,
         sampling: reqblock::sim::SampleInterval::Off,
         fault: reqblock::flash::FaultConfig::default(),
+        submit: reqblock::sim::SubmitMode::Synchronous,
     };
     let source = TraceSource::Synthetic(ts_0().scaled(0.01));
     let got = run_twice(&cfg, &source);
