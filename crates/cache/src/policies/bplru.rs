@@ -25,7 +25,7 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
 /// BPLRU tuning knobs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,7 +76,9 @@ impl BplruCache {
             pages_per_block: pages_per_block as u64,
             cfg,
             list: SlabList::new(),
-            map: FxHashMap::default(),
+            // At most one node per resident block; x2 keeps the load factor
+            // below the resize threshold for the whole run.
+            map: fx_map_with_capacity(capacity_pages.div_ceil(pages_per_block) * 2),
             len_pages: 0,
         }
     }

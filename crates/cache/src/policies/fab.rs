@@ -11,7 +11,7 @@
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
@@ -49,7 +49,9 @@ impl FabCache {
         Self {
             capacity: capacity_pages,
             pages_per_block: pages_per_block as u64,
-            groups: FxHashMap::default(),
+            // At most one group per resident block; x2 keeps the load
+            // factor below the resize threshold for the whole run.
+            groups: fx_map_with_capacity(capacity_pages.div_ceil(pages_per_block) * 2),
             order: BTreeSet::new(),
             len_pages: 0,
             next_seq: 0,

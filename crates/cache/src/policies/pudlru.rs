@@ -24,7 +24,7 @@
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
 #[derive(Debug, Clone)]
 struct BlockState {
@@ -56,7 +56,9 @@ impl PudLruCache {
         Self {
             capacity: capacity_pages,
             pages_per_block: pages_per_block as u64,
-            blocks: FxHashMap::default(),
+            // At most one entry per resident block; x2 keeps the load
+            // factor below the resize threshold for the whole run.
+            blocks: fx_map_with_capacity(capacity_pages.div_ceil(pages_per_block) * 2),
             len_pages: 0,
             now: 0,
         }

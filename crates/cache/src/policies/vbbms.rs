@@ -18,7 +18,7 @@ use crate::list::{Handle, SlabList};
 use crate::overhead::BLOCK_NODE_BYTES;
 use crate::policy::{Access, EvictionBatch, WriteBuffer};
 use reqblock_trace::Lpn;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 
 /// VBBMS tuning knobs (defaults follow the paper's §4.1 description).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,16 @@ struct Region {
 impl Region {
     fn new(vb_pages: u64, cap_pages: usize, lru: bool) -> Self {
         assert!((1..=8).contains(&vb_pages), "VB size must be 1..=8 pages");
-        Self { vb_pages, cap_pages, lru, list: SlabList::new(), map: FxHashMap::default(), len_pages: 0 }
+        Self {
+            vb_pages,
+            cap_pages,
+            lru,
+            list: SlabList::new(),
+            // At most one node per resident virtual block; x2 keeps the
+            // load factor below the resize threshold for the whole run.
+            map: fx_map_with_capacity((cap_pages as u64).div_ceil(vb_pages) as usize * 2),
+            len_pages: 0,
+        }
     }
 
     fn vb_of(&self, lpn: Lpn) -> (u64, u8) {

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] <command>
+//! repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
+//!       [--depths D1,D2,...] <command>
 //!
 //! commands:
 //!   table1      Table 1  (SSD configuration)
@@ -17,8 +18,12 @@
 //!   ablations   extension: Req-block design-choice ablations (A1-A4)
 //!   faults      extension: seeded fault-rate sweep (retries, bad blocks,
 //!               remapped pages, device health)
-//!   qdepth      extension: X5 response time vs host queue depth (1-32)
-//!               per policy, queued submit mode
+//!   qdepth      extension: X5 response time vs host queue depth per
+//!               policy, queued submit mode (default depths 1-32;
+//!               `--depths 1,2,4,...` picks the grid)
+//!   load        extension: X6 latency vs offered throughput — the ts_0
+//!               request mix re-timed by open-loop Poisson/bursty arrival
+//!               processes, p50/p99/p99.9 per policy and offered rate
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
@@ -41,20 +46,42 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
+         [--depths D1,D2,...] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|faults|qdepth|telemetry|export|all>\n\
+          tails|wear|ablations|faults|qdepth|load|telemetry|export|all>\n\
          --threads defaults to the host's available parallelism; \
-         --threads 1 is the explicit serial mode (identical output)"
+         --threads 1 is the explicit serial mode (identical output)\n\
+         --depths picks the qdepth sweep's queue-depth grid (default 1,2,4,8,16,32)"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (Opts, String) {
+/// Extra CLI state that does not belong in the library-level [`Opts`].
+#[derive(Default)]
+struct CliExtras {
+    /// Queue-depth grid for `qdepth` (`--depths`); `None` = the default
+    /// [`extensions::QDEPTH_SWEEP`].
+    depths: Option<Vec<u32>>,
+}
+
+fn parse_args() -> (Opts, CliExtras, String) {
     let mut opts = Opts::default();
+    let mut extras = CliExtras::default();
     let mut cmd = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--depths" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let depths: Vec<u32> = v
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if depths.is_empty() || depths.contains(&0) {
+                    usage();
+                }
+                extras.depths = Some(depths);
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.scale = v.parse().unwrap_or_else(|_| usage());
@@ -81,7 +108,7 @@ fn parse_args() -> (Opts, String) {
                 if c == "export" {
                     let trace = args.next().unwrap_or_else(|| usage());
                     let path = args.next().unwrap_or_else(|| usage());
-                    return (opts, format!("export {trace} {path}"));
+                    return (opts, extras, format!("export {trace} {path}"));
                 }
             }
             c if !c.starts_with('-') && cmd.as_deref() == Some("telemetry") => {
@@ -91,7 +118,7 @@ fn parse_args() -> (Opts, String) {
             _ => usage(),
         }
     }
-    (opts, cmd.unwrap_or_else(|| usage()))
+    (opts, extras, cmd.unwrap_or_else(|| usage()))
 }
 
 fn emit(opts: &Opts, name: &str, tables: &[Table]) {
@@ -150,7 +177,7 @@ fn run_telemetry(opts: &Opts, trace: &str) {
 }
 
 fn main() -> ExitCode {
-    let (opts, cmd) = parse_args();
+    let (opts, extras, cmd) = parse_args();
     let t0 = Instant::now();
     match cmd.as_str() {
         "table1" => emit(&opts, "table1", &[figures::table1()]),
@@ -178,7 +205,11 @@ fn main() -> ExitCode {
         "wear" => emit(&opts, "wear", &[extensions::wear(&opts)]),
         "ablations" => emit(&opts, "ablations", &[extensions::ablations(&opts)]),
         "faults" => emit(&opts, "faults", &[extensions::fault_sweep(&opts)]),
-        "qdepth" => emit(&opts, "qdepth", &[extensions::qdepth_sweep(&opts)]),
+        "qdepth" => {
+            let depths = extras.depths.as_deref().unwrap_or(&extensions::QDEPTH_SWEEP);
+            emit(&opts, "qdepth", &[extensions::qdepth_sweep_depths(&opts, depths)]);
+        }
+        "load" => emit(&opts, "load", &[extensions::load_sweep(&opts)]),
         cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
             let trace = cmd.strip_prefix("telemetry").unwrap().trim();
             let trace = if trace.is_empty() { "ts_0" } else { trace };

@@ -15,8 +15,8 @@ use crate::report::{f2, f3, Table};
 use reqblock_cache::policies::BplruConfig;
 use reqblock_core::{PriorityModel, ReqBlockConfig};
 use reqblock_sim::{
-    CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval, SimConfig, SubmitMode,
-    TraceSource,
+    ArrivalProcess, CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval,
+    SimConfig, SubmitMode, TraceSource,
 };
 
 /// Percentile columns reported by [`tails`].
@@ -269,19 +269,19 @@ pub fn fault_sweep(opts: &Opts) -> Table {
 /// Host queue depths swept by [`qdepth_sweep`] (X5).
 pub const QDEPTH_SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
 
-/// The X5 grid: the paper's four headline policies x [`QDEPTH_SWEEP`] host
-/// queue depths, replaying `ts_0` on the paper device with a 32 MB cache.
+/// The X5 grid: the paper's four headline policies x the given host queue
+/// depths, replaying `ts_0` on the paper device with a 32 MB cache.
 ///
 /// Depth 1 is definitionally the synchronous paper model (the property and
 /// golden tests pin the equality); deeper windows let eviction flushes
 /// retire in the background, so the sweep isolates how much of each
 /// policy's response time is buffer-induced stall that a queueing host
 /// could hide. Flash traffic is depth-invariant by construction.
-pub(crate) fn qdepth_jobs(opts: &Opts) -> Vec<Job> {
+pub(crate) fn qdepth_jobs_for(opts: &Opts, depths: &[u32]) -> Vec<Job> {
     let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
     let mut jobs = Vec::new();
     for policy in PolicyKind::paper_comparison() {
-        for depth in QDEPTH_SWEEP {
+        for &depth in depths {
             jobs.push(Job {
                 label: format!("{}/qd{depth}", policy.name()),
                 cfg: SimConfig::paper(CacheSizeMb::Mb32, policy)
@@ -291,6 +291,11 @@ pub(crate) fn qdepth_jobs(opts: &Opts) -> Vec<Job> {
         }
     }
     jobs
+}
+
+/// [`qdepth_jobs_for`] over the default [`QDEPTH_SWEEP`] grid.
+pub(crate) fn qdepth_jobs(opts: &Opts) -> Vec<Job> {
+    qdepth_jobs_for(opts, &QDEPTH_SWEEP)
 }
 
 /// Render the X5 table from grid results (order of [`qdepth_jobs`]).
@@ -315,7 +320,123 @@ pub(crate) fn qdepth_build(results: Vec<(String, RunResult)>) -> Table {
 
 /// X5 extension: mean and p99 response time vs host queue depth 1-32.
 pub fn qdepth_sweep(opts: &Opts) -> Table {
-    qdepth_build(run_pool(qdepth_jobs(opts), opts.threads))
+    qdepth_sweep_depths(opts, &QDEPTH_SWEEP)
+}
+
+/// [`qdepth_sweep`] over a caller-chosen depth list (`repro qdepth
+/// --depths 1,2,4,...`). Depths may repeat or be unordered; rows follow the
+/// given order per policy.
+pub fn qdepth_sweep_depths(opts: &Opts, depths: &[u32]) -> Table {
+    assert!(!depths.is_empty(), "qdepth sweep needs at least one depth");
+    qdepth_build(run_pool(qdepth_jobs_for(opts, depths), opts.threads))
+}
+
+/// Offered-load multipliers swept by [`load_sweep`] (X6), relative to the
+/// device's *calibrated back-to-back service rate* for the same request
+/// mix. The span brackets the knee by construction: below 1x the device
+/// keeps up (response ~= service time), above 1x arrivals outrun service
+/// and the open-loop response diverges.
+pub const LOAD_SWEEP: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Burst shape of the X6 bursty rows: bursts of 64 requests arriving 8x
+/// faster than the long-run rate, idle gaps in between (same offered rate).
+pub const LOAD_BURST: (u32, u32) = (64, 8);
+
+/// The X6 grid: the four headline policies x open-loop arrival processes,
+/// replaying the `ts_0` request mix at a swept offered rate (queue depth 8,
+/// 32 MB cache).
+///
+/// Every job rewrites the same base trace's arrival times
+/// ([`TraceSource::OpenLoop`]): Poisson at each [`LOAD_SWEEP`] multiple of
+/// the calibrated service rate, plus one bursty row ([`LOAD_BURST`]) at 1x
+/// to show what burst clustering alone costs. Arrival seeds depend only on
+/// the rate step — every policy sees byte-identical arrivals, so the rows
+/// compare policies, not RNG draws. Responses are measured
+/// arrival->completion against an open loop that never self-throttles,
+/// which is what makes the saturation knee visible (see EXPERIMENTS.md).
+///
+/// Calibration: the trace's own timestamps are far too sparse to stress the
+/// device (hours of idle between bursts), so anchoring on them would leave
+/// every sweep point idle. Instead one serial probe replays the mix with
+/// every arrival at t=0 — pure service demand, no idle gaps — and the
+/// slowest request's completion divided by the request count gives the
+/// device's back-to-back per-request service gap. The probe runs at plan
+/// time on one thread, so the grid stays thread-count invariant.
+pub(crate) fn load_jobs(opts: &Opts) -> Vec<Job> {
+    let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
+    let base = TraceSource::Synthetic(profile);
+    let requests = base.shared_requests();
+    let probe: Vec<reqblock_trace::Request> =
+        requests.iter().map(|r| reqblock_trace::Request { time_ns: 0, ..*r }).collect();
+    let cal = reqblock_sim::run_trace(&SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::Lru), probe);
+    let service_gap_ns = (cal.metrics.max_response_ns / requests.len() as u64).max(1);
+    let mut jobs = Vec::new();
+    for policy in PolicyKind::paper_comparison() {
+        for (i, mult) in LOAD_SWEEP.into_iter().enumerate() {
+            let process = ArrivalProcess::Poisson {
+                mean_interarrival_ns: ((service_gap_ns as f64 / mult) as u64).max(1),
+            };
+            jobs.push(Job {
+                label: format!("{}|poisson|{mult}|{:.0}", policy.name(), process.offered_rate_per_s()),
+                cfg: SimConfig::paper(CacheSizeMb::Mb32, policy)
+                    .with_submit(SubmitMode::Queued { depth: 8 }),
+                source: TraceSource::open_loop(base.clone(), process, 0x10AD_5EED + i as u64),
+            });
+        }
+        let (burst_len, peak_to_mean) = LOAD_BURST;
+        let process = ArrivalProcess::Bursty {
+            mean_interarrival_ns: service_gap_ns,
+            burst_len,
+            peak_to_mean,
+        };
+        jobs.push(Job {
+            label: format!("{}|bursty|1|{:.0}", policy.name(), process.offered_rate_per_s()),
+            cfg: SimConfig::paper(CacheSizeMb::Mb32, policy)
+                .with_submit(SubmitMode::Queued { depth: 8 }),
+            source: TraceSource::open_loop(base.clone(), process, 0x10AD_B025),
+        });
+    }
+    jobs
+}
+
+/// Render the X6 table from grid results (order of [`load_jobs`]).
+pub(crate) fn load_build(results: Vec<(String, RunResult)>) -> Table {
+    let mut t = Table::new(
+        "Extension - X6: response time vs offered throughput (ts_0 mix, open loop, qd8, 32MB)",
+        &[
+            "Policy",
+            "Process",
+            "Load",
+            "Offered (kreq/s)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p99.9 (ms)",
+            "Mean (ms)",
+        ],
+    );
+    for (label, r) in results {
+        let mut parts = label.split('|');
+        let policy = parts.next().expect("load label has policy");
+        let process = parts.next().expect("load label has process");
+        let mult = parts.next().expect("load label has multiplier");
+        let rate: f64 = parts.next().expect("load label has rate").parse().expect("rate");
+        t.push_row(vec![
+            policy.to_string(),
+            process.to_string(),
+            format!("{mult}x"),
+            f2(rate / 1e3),
+            f3(r.metrics.response_percentile_ms(0.50)),
+            f3(r.metrics.response_percentile_ms(0.99)),
+            f3(r.metrics.response_percentile_ms(0.999)),
+            f3(r.metrics.avg_response_ms()),
+        ]);
+    }
+    t
+}
+
+/// X6 extension: latency vs offered throughput per policy (open loop).
+pub fn load_sweep(opts: &Opts) -> Table {
+    load_build(run_pool(load_jobs(opts), opts.threads))
 }
 
 #[cfg(test)]
@@ -378,6 +499,48 @@ mod tests {
         let a = fault_sweep(&tiny_opts());
         let b = fault_sweep(&tiny_opts());
         assert_eq!(a.rows, b.rows, "same seed + config must give identical tables");
+    }
+
+    #[test]
+    fn qdepth_sweep_accepts_custom_depth_list() {
+        let t = qdepth_sweep_depths(&tiny_opts(), &[1, 3]);
+        assert_eq!(t.rows.len(), 4 * 2);
+        for policy in PolicyKind::paper_comparison() {
+            for depth in ["1", "3"] {
+                assert!(
+                    t.rows.iter().any(|row| row[0] == policy.name() && row[1] == depth),
+                    "missing row {}/qd{depth}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_sweep_covers_grid_and_latency_rises_with_load() {
+        let t = load_sweep(&tiny_opts());
+        // Per policy: every Poisson step plus one bursty row.
+        assert_eq!(t.rows.len(), 4 * (LOAD_SWEEP.len() + 1));
+        for policy in PolicyKind::paper_comparison() {
+            let rows: Vec<_> = t.rows.iter().filter(|r| r[0] == policy.name()).collect();
+            assert_eq!(rows.len(), LOAD_SWEEP.len() + 1, "{}", policy.name());
+            // Open loop: driving the same mix 32x harder (0.5x -> 16x) must
+            // not *improve* the mean response; past the knee it explodes.
+            let lightest: f64 = rows.first().unwrap()[7].parse().unwrap();
+            let heaviest: f64 = rows[LOAD_SWEEP.len() - 1][7].parse().unwrap();
+            assert!(
+                heaviest >= lightest,
+                "{}: mean at 16x load {heaviest} < mean at 0.5x {lightest}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn load_sweep_is_thread_invariant() {
+        let serial = load_sweep(&Opts { threads: 1, ..tiny_opts() });
+        let parallel = load_sweep(&Opts { threads: 3, ..tiny_opts() });
+        assert_eq!(serial.rows, parallel.rows, "X6 must be byte-identical at any thread count");
     }
 
     #[test]

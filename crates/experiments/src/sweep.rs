@@ -18,8 +18,8 @@
 //! `Arc<[Request]>` slice zero-copy.
 
 use crate::extensions::{
-    ablations_build, ablations_jobs, fault_build, fault_jobs, qdepth_build, qdepth_jobs,
-    tails_build, tails_jobs, wear_build, wear_jobs,
+    ablations_build, ablations_jobs, fault_build, fault_jobs, load_build, load_jobs,
+    qdepth_build, qdepth_jobs, tails_build, tails_jobs, wear_build, wear_jobs,
 };
 use crate::figures::{
     comparison_build, comparison_jobs, fig13_build, fig13_probe, fig23_build, fig23_probe,
@@ -68,6 +68,7 @@ pub fn run_all(opts: &Opts) -> AllArtifacts {
     let ablations_pool = JobPool::new(ablations_jobs(opts));
     let fault_pool = JobPool::new(fault_jobs(opts));
     let qdepth_pool = JobPool::new(qdepth_jobs(opts));
+    let load_pool = JobPool::new(load_jobs(opts));
 
     // One flat task list. Tasks are claimed in order, so the cheap Table 2
     // statistics probes run first and warm the shared trace cache for the
@@ -83,6 +84,7 @@ pub fn run_all(opts: &Opts) -> AllArtifacts {
     tasks.extend(ablations_pool.tasks());
     tasks.extend(fault_pool.tasks());
     tasks.extend(qdepth_pool.tasks());
+    tasks.extend(load_pool.tasks());
     tasks.push(Task::new(format!("telemetry/{TELEMETRY_TRACE}"), || {
         let ok = telemetry_slot.set(telemetry(opts, TELEMETRY_TRACE)).is_ok();
         debug_assert!(ok, "telemetry slot filled twice");
@@ -116,6 +118,7 @@ pub fn run_all(opts: &Opts) -> AllArtifacts {
         ("ablations".to_string(), vec![ablations_build(ablations_pool.take_results())]),
         ("faults".to_string(), vec![fault_build(fault_pool.take_results())]),
         ("qdepth".to_string(), vec![qdepth_build(qdepth_pool.take_results())]),
+        ("load".to_string(), vec![load_build(load_pool.take_results())]),
         (format!("telemetry_{TELEMETRY_TRACE}"), vec![telemetry_table]),
     ];
     AllArtifacts {
@@ -142,7 +145,7 @@ mod tests {
             [
                 "table1", "table2", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "summary", "perf", "fig13", "tails", "wear", "ablations", "faults",
-                "qdepth", "telemetry_ts_0"
+                "qdepth", "load", "telemetry_ts_0"
             ]
         );
         for (name, tables) in &art.sections {

@@ -22,7 +22,7 @@
 //!   once the transfer is done, the chip when the program finishes;
 //! * **erase**: chip only, no bus traffic.
 
-use crate::addr::{channel_of, ChipId};
+use crate::addr::ChipId;
 use crate::config::SsdConfig;
 use serde::{Deserialize, Serialize};
 
@@ -138,8 +138,21 @@ pub struct FlashTimeline {
     channel_free_ns: Vec<u64>,
     chip_free_ns: Vec<u64>,
     chips_per_channel: usize,
+    /// `log2(chips_per_channel)` when it is a power of two: the chip →
+    /// channel division on every operation becomes a shift.
+    chan_shift: u32,
+    /// Whether `chan_shift` applies (`chips_per_channel.is_power_of_two()`).
+    chan_pow2: bool,
+    /// Cached [`SsdConfig::page_transfer_ns`] — recomputed per call
+    /// otherwise, and each operation needs it two or three times.
+    xfer_ns: u64,
     counters: OpCounters,
     busy: BusyStats,
+    /// Running maximum over all per-resource horizons, maintained on every
+    /// scheduled operation so [`Self::horizon_ns`] is O(1) instead of a
+    /// max-scan over channels + chips (it sits on the per-sample path of
+    /// the utilization time series).
+    horizon_ns: u64,
 }
 
 impl FlashTimeline {
@@ -149,8 +162,12 @@ impl FlashTimeline {
             channel_free_ns: vec![0; cfg.channels],
             chip_free_ns: vec![0; cfg.total_chips()],
             chips_per_channel: cfg.chips_per_channel,
+            chan_shift: cfg.chips_per_channel.trailing_zeros(),
+            chan_pow2: cfg.chips_per_channel.is_power_of_two(),
+            xfer_ns: cfg.page_transfer_ns(),
             counters: OpCounters::default(),
             busy: BusyStats::new(cfg.channels, cfg.total_chips()),
+            horizon_ns: 0,
         }
     }
 
@@ -169,23 +186,40 @@ impl FlashTimeline {
         self.chip_free_ns[chip]
     }
 
+    /// Channel owning `chip` (shift when the per-channel chip count is a
+    /// power of two, as in every shipped geometry).
+    #[inline]
+    fn chan(&self, chip: ChipId) -> usize {
+        if self.chan_pow2 { chip >> self.chan_shift } else { chip / self.chips_per_channel }
+    }
+
     /// Earliest time the channel owning `chip` can start a transfer.
     pub fn channel_free_at(&self, chip: ChipId) -> u64 {
-        self.channel_free_ns[chip / self.chips_per_channel]
+        self.channel_free_ns[self.chan(chip)]
+    }
+
+    /// Per-chip completion horizon: when every operation already scheduled
+    /// through `chip`'s pipeline (its array *and* its channel bus) has
+    /// finished. This is the NCQ drain point the host engine's per-chip
+    /// ready cursors key on — an operation completing at
+    /// `chip_horizon_ns(chip)` is the last one outstanding on that chip.
+    pub fn chip_horizon_ns(&self, chip: ChipId) -> u64 {
+        self.chip_free_ns[chip].max(self.channel_free_ns[self.chan(chip)])
     }
 
     /// Schedule a page read on `chip` no earlier than `at`.
     pub fn read(&mut self, cfg: &SsdConfig, chip: ChipId, at: u64, origin: Origin) -> Completion {
-        let ch = channel_of(chip, cfg);
+        let ch = self.chan(chip);
         let sense_start = at.max(self.chip_free_ns[chip]);
         let sense_done = sense_start + cfg.read_latency_ns;
         let xfer_start = sense_done.max(self.channel_free_ns[ch]);
-        let end = xfer_start + cfg.page_transfer_ns();
+        let end = xfer_start + self.xfer_ns;
         // Chip holds the page register until the data is moved out.
         self.chip_free_ns[chip] = end;
         self.channel_free_ns[ch] = end;
+        self.horizon_ns = self.horizon_ns.max(end);
         self.busy.note_wait(at, sense_start);
-        self.busy.channel_busy_ns[ch] += cfg.page_transfer_ns();
+        self.busy.channel_busy_ns[ch] += self.xfer_ns;
         self.busy.chip_busy_ns[chip] += end - sense_start;
         match origin {
             Origin::User => self.counters.user_reads += 1,
@@ -202,16 +236,17 @@ impl FlashTimeline {
         at: u64,
         origin: Origin,
     ) -> Completion {
-        let ch = channel_of(chip, cfg);
+        let ch = self.chan(chip);
         // Data must be moved over the bus into the chip's register, so both
         // the bus and the chip must be free before the transfer starts.
         let xfer_start = at.max(self.channel_free_ns[ch]).max(self.chip_free_ns[chip]);
-        let xfer_done = xfer_start + cfg.page_transfer_ns();
+        let xfer_done = xfer_start + self.xfer_ns;
         let end = xfer_done + cfg.program_latency_ns;
         self.channel_free_ns[ch] = xfer_done; // bus released after transfer
         self.chip_free_ns[chip] = end;
+        self.horizon_ns = self.horizon_ns.max(end);
         self.busy.note_wait(at, xfer_start);
-        self.busy.channel_busy_ns[ch] += cfg.page_transfer_ns();
+        self.busy.channel_busy_ns[ch] += self.xfer_ns;
         self.busy.chip_busy_ns[chip] += end - xfer_start;
         match origin {
             Origin::User => self.counters.user_programs += 1,
@@ -229,9 +264,7 @@ impl FlashTimeline {
     /// [`BusyStats::channel_utilization`] on `horizon_ns().max(now)` keeps
     /// the ratio within `[0, 1]` even when service outruns arrivals.
     pub fn horizon_ns(&self) -> u64 {
-        let ch = self.channel_free_ns.iter().copied().max().unwrap_or(0);
-        let chip = self.chip_free_ns.iter().copied().max().unwrap_or(0);
-        ch.max(chip)
+        self.horizon_ns
     }
 
     /// Schedule a block erase on `chip` no earlier than `at`.
@@ -239,6 +272,7 @@ impl FlashTimeline {
         let start = at.max(self.chip_free_ns[chip]);
         let end = start + cfg.erase_latency_ns;
         self.chip_free_ns[chip] = end;
+        self.horizon_ns = self.horizon_ns.max(end);
         self.busy.note_wait(at, start);
         self.busy.chip_busy_ns[chip] += cfg.erase_latency_ns;
         self.counters.erases += 1;
@@ -407,6 +441,20 @@ mod tests {
         assert_eq!(tl.horizon_ns(), a.end_ns);
         let e = tl.erase(&cfg, 5, 0);
         assert_eq!(tl.horizon_ns(), a.end_ns.max(e.end_ns));
+    }
+
+    #[test]
+    fn chip_horizon_includes_channel_bus() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        // Program on chip 0 busies channel 0's bus for the transfer; chip 1
+        // shares that bus, so its pipeline horizon reflects the bus even
+        // though its array is idle.
+        let a = tl.program(&cfg, 0, 0, Origin::User);
+        assert_eq!(tl.chip_horizon_ns(0), a.end_ns);
+        assert_eq!(tl.chip_horizon_ns(1), cfg.page_transfer_ns());
+        // Chip 2 is on channel 1: fully idle.
+        assert_eq!(tl.chip_horizon_ns(2), 0);
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl ChipBlocks {
         &self.blocks[block as usize]
     }
 
+    /// Hint that `block`'s metadata is about to be accessed. The per-chip
+    /// metadata arrays total ~12 MB at paper geometry, so invalidations of
+    /// random old blocks are DRAM-latency-bound without a warm-up; purely a
+    /// cache hint, no architectural effect.
+    #[inline]
+    pub fn prefetch_meta(&self, block: u32) {
+        #[cfg(target_arch = "x86_64")]
+        if (block as usize) < self.blocks.len() {
+            // SAFETY: in-bounds pointer, never dereferenced.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    self.blocks.as_ptr().add(block as usize) as *const i8,
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+    }
+
     /// Total number of blocks on the chip.
     #[inline]
     pub fn block_count(&self) -> usize {
@@ -144,11 +162,20 @@ impl ChipBlocks {
     /// Mark `(block, page)` invalid (its LPN was overwritten or migrated).
     /// Returns the block's new invalid count.
     pub fn invalidate(&mut self, block: u32, page: u16) -> u32 {
+        self.invalidate_with_state(block, page).0
+    }
+
+    /// [`ChipBlocks::invalidate`], also returning the block's lifecycle
+    /// state from the same metadata access — the per-overwrite FTL path
+    /// needs both, and the block array is too large to stay cache-resident
+    /// at paper geometry, so one access instead of two matters.
+    #[inline]
+    pub fn invalidate_with_state(&mut self, block: u32, page: u16) -> (u32, BlockState) {
         let meta = &mut self.blocks[block as usize];
         debug_assert!(page < meta.next_page, "invalidating unwritten page");
         debug_assert!(meta.valid & (1u64 << page) != 0, "double invalidate");
         meta.valid &= !(1u64 << page);
-        meta.invalid_count()
+        (meta.invalid_count(), meta.state)
     }
 
     /// Blocks retired as bad so far.

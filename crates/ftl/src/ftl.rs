@@ -111,6 +111,27 @@ impl PageMap {
     fn set(&mut self, idx: usize, value: u32) {
         self.0[idx] = value.wrapping_add(1);
     }
+
+    /// Hint the cache hierarchy that `idx` is about to be accessed. The
+    /// mapping tables span hundreds of megabytes at paper geometry, so the
+    /// per-page walk is DRAM-latency-bound; issuing the loads for a whole
+    /// batch up front overlaps the misses instead of serializing them.
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if idx < self.0.len() {
+            // SAFETY: prefetch has no architectural effect; the pointer is
+            // in-bounds and never dereferenced.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    self.0.as_ptr().add(idx) as *const i8,
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
 }
 
 /// Per-chip domain: block state plus GC picker.
@@ -130,7 +151,12 @@ pub struct Ftl {
     cfg: SsdConfig,
     /// LPN -> PPN; `UNMAPPED` when the LPN has never been written.
     l2p: PageMap,
-    /// PPN -> LPN for valid pages; `UNMAPPED` otherwise.
+    /// PPN -> LPN, written at program time only. Entries for *invalidated*
+    /// pages go stale rather than being cleared: the block valid bitmap is
+    /// the source of truth for liveness, and every reader (GC migration,
+    /// retirement, the consistency check) consults it first. Skipping the
+    /// clear removes a random store into a ~134 MB table from the per-page
+    /// overwrite path, which is DRAM-miss-bound at paper geometry.
     p2l: PageMap,
     chips: Vec<ChipDomain>,
     /// Round-robin cursor for striped placement (and for spreading
@@ -148,6 +174,23 @@ pub struct Ftl {
     /// block has retired, hoisted off the per-page write path so batched
     /// flushes don't redo the float math for every page.
     gc_floor_healthy: usize,
+    /// Cached [`SsdConfig::pages_per_chip`] — the accessor divides by the
+    /// chip count on every call, far too hot for the per-page mapping path.
+    pages_per_chip: u64,
+    /// Cached `pages_per_block` as u64.
+    pages_per_block: u64,
+    /// `true` when both `pages_per_chip` and `pages_per_block` are powers
+    /// of two (every shipped geometry): PPN decomposition is then pure
+    /// shift/mask instead of two u64 divisions per page.
+    geom_pow2: bool,
+    /// `log2(pages_per_chip)` when `geom_pow2`.
+    chip_shift: u32,
+    /// `pages_per_chip - 1` when `geom_pow2`.
+    chip_mask: u64,
+    /// `log2(pages_per_block)` when `geom_pow2`.
+    block_shift: u32,
+    /// `pages_per_block - 1` when `geom_pow2`.
+    block_mask: u64,
     /// Per-chip scratch for [`Ftl::write_pages`]: `true` while the chip's
     /// free-block count is known to sit at/above the GC floor within the
     /// current batch, letting later pages of the batch skip the GC re-check
@@ -168,11 +211,24 @@ impl Ftl {
         cfg.validate().expect("invalid SSD config");
         let total_pages = cfg.total_pages() as usize;
         assert!(total_pages < UNMAPPED as usize, "drive too large for u32 page indices");
+        let pages_per_chip = cfg.pages_per_chip();
+        let pages_per_block = cfg.pages_per_block as u64;
+        let geom_pow2 = pages_per_chip.is_power_of_two() && pages_per_block.is_power_of_two();
         Self {
+            pages_per_chip,
+            pages_per_block,
+            geom_pow2,
+            chip_shift: pages_per_chip.trailing_zeros(),
+            chip_mask: pages_per_chip.wrapping_sub(1),
+            block_shift: pages_per_block.trailing_zeros(),
+            block_mask: pages_per_block.wrapping_sub(1),
             l2p: PageMap::new(total_pages),
             p2l: PageMap::new(total_pages),
             chips: (0..cfg.total_chips())
-                .map(|_| ChipDomain { blocks: ChipBlocks::new(cfg), picker: GreedyPicker::new() })
+                .map(|_| ChipDomain {
+                    blocks: ChipBlocks::new(cfg),
+                    picker: GreedyPicker::with_capacity(cfg.blocks_per_chip()),
+                })
                 .collect(),
             cursor: 0,
             stats: FtlStats::default(),
@@ -261,23 +317,38 @@ impl Ftl {
 
     #[inline]
     fn ppn_of(&self, chip: usize, block: u32, page: u16) -> u32 {
-        (chip as u64 * self.cfg.pages_per_chip()
-            + block as u64 * self.cfg.pages_per_block as u64
-            + page as u64) as u32
+        if self.geom_pow2 {
+            (((chip as u64) << self.chip_shift)
+                | ((block as u64) << self.block_shift)
+                | page as u64) as u32
+        } else {
+            (chip as u64 * self.pages_per_chip
+                + block as u64 * self.pages_per_block
+                + page as u64) as u32
+        }
     }
 
     #[inline]
     fn chip_of_ppn(&self, ppn: u32) -> usize {
-        (ppn as u64 / self.cfg.pages_per_chip()) as usize
+        if self.geom_pow2 {
+            (ppn as u64 >> self.chip_shift) as usize
+        } else {
+            (ppn as u64 / self.pages_per_chip) as usize
+        }
     }
 
     #[inline]
     fn block_page_of_ppn(&self, ppn: u32) -> (u32, u16) {
-        let within = ppn as u64 % self.cfg.pages_per_chip();
-        (
-            (within / self.cfg.pages_per_block as u64) as u32,
-            (within % self.cfg.pages_per_block as u64) as u16,
-        )
+        if self.geom_pow2 {
+            let within = ppn as u64 & self.chip_mask;
+            ((within >> self.block_shift) as u32, (within & self.block_mask) as u16)
+        } else {
+            let within = ppn as u64 % self.pages_per_chip;
+            (
+                (within / self.pages_per_block) as u32,
+                (within % self.pages_per_block) as u16,
+            )
+        }
     }
 
     /// Invalidate the physical page `ppn` (which must be valid) and clear
@@ -287,11 +358,12 @@ impl Ftl {
         let chip = self.chip_of_ppn(ppn);
         let (block, page) = self.block_page_of_ppn(ppn);
         let domain = &mut self.chips[chip];
-        let inv = domain.blocks.invalidate(block, page);
-        if domain.blocks.meta(block).state == BlockState::Full {
+        let (inv, state) = domain.blocks.invalidate_with_state(block, page);
+        if state == BlockState::Full {
             domain.picker.note(block, inv);
         }
-        self.p2l.set(ppn as usize, UNMAPPED);
+        // The stale p2l entry is left in place; the valid bitmap already
+        // records the page as dead, and p2l is only read for valid pages.
     }
 
     /// Invalidate the physical page currently backing `lpn`, if any.
@@ -394,7 +466,6 @@ impl Ftl {
             round_busy_ns += (rd.end_ns - rd.start_ns) as u128;
             let dst_ppn = self.ppn_of(chip, nb, np);
             self.chips[chip].blocks.invalidate(victim, page);
-            self.p2l.set(src_ppn as usize, UNMAPPED);
             self.p2l.set(dst_ppn as usize, lpn);
             self.l2p.set(lpn as usize, dst_ppn);
             let pr = tl.program(&self.cfg, chip, at, Origin::Gc);
@@ -449,7 +520,6 @@ impl Ftl {
             // New copy is safe; move the mapping and drop the old page.
             let dst_ppn = self.ppn_of(chip, nb, np);
             self.chips[chip].blocks.invalidate(block, page);
-            self.p2l.set(src_ppn as usize, UNMAPPED);
             self.p2l.set(dst_ppn as usize, lpn);
             self.l2p.set(lpn as usize, dst_ppn);
             tl.program(&self.cfg, chip, at, Origin::Gc);
@@ -589,6 +659,27 @@ impl Ftl {
             self.fstats.rejected_write_pages += lpns.len() as u64;
             return at;
         }
+        // Overlap the mapping-table misses of the whole batch: every page
+        // walk starts with an `l2p` load whose line is almost never
+        // resident (the table spans ~134 MB at paper geometry), then
+        // invalidates the old physical page's block metadata. Two passes
+        // warm both levels — the second pass re-reads `l2p` (now
+        // L1-resident) to issue the dependent block-meta prefetches early.
+        for &lpn in lpns {
+            self.l2p.prefetch(lpn as usize);
+        }
+        for &lpn in lpns {
+            // Out-of-range LPNs still hit the per-page assert below; the
+            // warm-up pass must not touch (or panic on) them first.
+            if (lpn as usize) < self.l2p.len() {
+                let old = self.l2p.get(lpn as usize);
+                if old != UNMAPPED {
+                    let chip = self.chip_of_ppn(old);
+                    let (block, _) = self.block_page_of_ppn(old);
+                    self.chips[chip].blocks.prefetch_meta(block);
+                }
+            }
+        }
         let chips = self.chips.len();
         let mut done = at;
         match placement {
@@ -692,6 +783,31 @@ impl Ftl {
             done_ns,
             service_ns: done_ns.saturating_sub(at),
             flash_ops: tl.counters().user_programs - before,
+        }
+    }
+
+    /// Hint that `lpn`'s forward mapping is about to be consulted. Lets a
+    /// host overlap the mapping-table miss with its own per-page work
+    /// before calling [`Ftl::read_page`]; purely a cache hint, no effect
+    /// on behaviour.
+    #[inline]
+    pub fn prefetch_lpn(&self, lpn: Lpn) {
+        self.l2p.prefetch(lpn as usize);
+    }
+
+    /// Chip currently backing `lpn`, or `None` when the LPN is unmapped
+    /// (an unmapped read is served without touching any chip). This is the
+    /// chip attribution the host's outstanding-read ledger keys on.
+    #[inline]
+    pub fn chip_of_lpn(&self, lpn: Lpn) -> Option<usize> {
+        if lpn as usize >= self.l2p.len() {
+            return None;
+        }
+        let ppn = self.l2p.get(lpn as usize);
+        if ppn == UNMAPPED {
+            None
+        } else {
+            Some(self.chip_of_ppn(ppn))
         }
     }
 

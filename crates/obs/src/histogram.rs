@@ -56,12 +56,19 @@ impl Histogram {
 
     /// Smallest bucket whose upper bound covers `v`: bucket `i` holds
     /// samples in `(base << (i-1), base << i]` (bucket 0: `[0, base]`).
+    ///
+    /// Division-free: the answer is the smallest `i` with `v <= base << i`,
+    /// which bit lengths pin to within one — `base << (i0 - 1)` has fewer
+    /// bits than `v` (so the answer is at least `i0`) and `base << (i0 + 1)`
+    /// has more (so at most `i0 + 1`); one comparison decides. This sits on
+    /// the per-request response path, where a 64-bit divide is measurable.
     fn bucket_of(&self, v: u64) -> usize {
         if v <= self.base {
             return 0;
         }
-        let q = v.div_ceil(self.base); // > 1 here
-        ((64 - (q - 1).leading_zeros()) as usize).min(self.counts.len() - 1)
+        let i0 = (self.base.leading_zeros() - v.leading_zeros()) as usize;
+        let i = if v <= self.base << i0 { i0 } else { i0 + 1 };
+        i.min(self.counts.len() - 1)
     }
 
     /// Inclusive upper bound of bucket `i` (the last bucket is unbounded

@@ -18,3 +18,14 @@ pub const HOST_QDEPTH: &str = "host_qdepth";
 /// End-of-run gauge: the largest number of flushes that were ever
 /// outstanding at once (high-water mark of [`QDEPTH`]).
 pub const HOST_MAX_OUTSTANDING: &str = "host_max_outstanding";
+
+/// Outstanding flash read completions across all chips at sample time —
+/// the NCQ-style in-flight read ledger ([`OUTSTANDING_READS`] counts reads
+/// issued to chips whose completion the host has not yet observed). Like
+/// [`QDEPTH`], emitted only when the submit mode admits background work,
+/// so synchronous telemetry is unchanged.
+pub const OUTSTANDING_READS: &str = "outstanding_reads";
+
+/// End-of-run gauge: the largest number of flash reads ever in flight at
+/// once (high-water mark of [`OUTSTANDING_READS`]).
+pub const HOST_MAX_READS_OUTSTANDING: &str = "host_max_reads_outstanding";

@@ -1,5 +1,6 @@
 //! Simulation configuration: SSD, cache size, policy and host-mode selection.
 
+use crate::buffer::PolicyBuffer;
 use crate::host::SubmitMode;
 use reqblock_cache::policies::{
     BplruCache, BplruConfig, CflruCache, CflruConfig, FabCache, FifoCache, LfuCache, LruCache,
@@ -111,6 +112,26 @@ impl PolicyKind {
             PolicyKind::Bplru(cfg) => Box::new(BplruCache::new(cache_pages, pages_per_block, cfg)),
             PolicyKind::Vbbms(cfg) => Box::new(VbbmsCache::new(cache_pages, cfg)),
             PolicyKind::ReqBlock(cfg) => Box::new(ReqBlock::new(cache_pages, cfg)),
+        }
+    }
+
+    /// Like [`PolicyKind::build`] but returns the statically dispatched
+    /// [`PolicyBuffer`] the device's hot path uses.
+    pub fn build_buffer(&self, cache_pages: usize, pages_per_block: usize) -> PolicyBuffer {
+        match *self {
+            PolicyKind::Lru => PolicyBuffer::Lru(LruCache::new(cache_pages)),
+            PolicyKind::Fifo => PolicyBuffer::Fifo(FifoCache::new(cache_pages)),
+            PolicyKind::Lfu => PolicyBuffer::Lfu(LfuCache::new(cache_pages)),
+            PolicyKind::Cflru(cfg) => PolicyBuffer::Cflru(CflruCache::new(cache_pages, cfg)),
+            PolicyKind::Fab => PolicyBuffer::Fab(FabCache::new(cache_pages, pages_per_block)),
+            PolicyKind::PudLru => {
+                PolicyBuffer::PudLru(PudLruCache::new(cache_pages, pages_per_block))
+            }
+            PolicyKind::Bplru(cfg) => {
+                PolicyBuffer::Bplru(BplruCache::new(cache_pages, pages_per_block, cfg))
+            }
+            PolicyKind::Vbbms(cfg) => PolicyBuffer::Vbbms(VbbmsCache::new(cache_pages, cfg)),
+            PolicyKind::ReqBlock(cfg) => PolicyBuffer::ReqBlock(ReqBlock::new(cache_pages, cfg)),
         }
     }
 }

@@ -11,6 +11,7 @@
 //! touching *how* the device services them: the flash traffic a workload
 //! generates is identical under every [`crate::host::SubmitMode`].
 
+use crate::buffer::PolicyBuffer;
 use crate::config::SimConfig;
 use reqblock_cache::{Access, EvictionBatch, Placement as CachePlacement, WriteBuffer};
 use reqblock_flash::{BusyStats, FaultStats, FlashTimeline, OpCounters};
@@ -41,7 +42,7 @@ impl Completion {
 /// The simulated device below the host interface: cache policy state, FTL
 /// and flash timeline. Built from a [`SimConfig`]; driven by the engine.
 pub struct Device {
-    cache: Box<dyn WriteBuffer>,
+    cache: PolicyBuffer,
     ftl: Ftl,
     timeline: FlashTimeline,
     dram_access_ns: u64,
@@ -53,7 +54,7 @@ impl Device {
         cfg.ssd.validate().expect("invalid SSD config");
         assert!(cfg.cache_pages > 0, "cache must hold at least one page");
         Self {
-            cache: cfg.policy.build(cfg.cache_pages, cfg.ssd.pages_per_block),
+            cache: cfg.policy.build_buffer(cfg.cache_pages, cfg.ssd.pages_per_block),
             ftl: Ftl::with_faults(&cfg.ssd, cfg.fault.clone()),
             timeline: FlashTimeline::new(&cfg.ssd),
             dram_access_ns: cfg.ssd.dram_access_ns,
@@ -68,6 +69,7 @@ impl Device {
     /// Record a page write in the buffer. Returns whether it hit; any
     /// eviction batches the policy decided on are appended to `evictions`
     /// for the caller to [`Device::flush`].
+    #[inline]
     pub fn buffer_write(&mut self, a: &Access, evictions: &mut Vec<EvictionBatch>) -> bool {
         self.cache.write(a, evictions)
     }
@@ -75,14 +77,30 @@ impl Device {
     /// Record a page read in the buffer; same contract as
     /// [`Device::buffer_write`]. A miss must be followed by a
     /// [`Device::flash_read`] to obtain its timing.
+    #[inline]
     pub fn buffer_read(&mut self, a: &Access, evictions: &mut Vec<EvictionBatch>) -> bool {
         self.cache.read(a, evictions)
+    }
+
+    /// Hint that `lpn` may shortly need a [`Device::flash_read`]: warms the
+    /// FTL mapping entry while the caller is still doing buffer work.
+    #[inline]
+    pub fn prefetch_read(&self, lpn: Lpn) {
+        self.ftl.prefetch_lpn(lpn);
     }
 
     /// Service a read miss of `lpn` from flash at `at`.
     pub fn flash_read(&mut self, lpn: Lpn, at: u64) -> Completion {
         let io = self.ftl.read_page_completion(lpn, at, &mut self.timeline);
         Completion { ready_ns: io.done_ns, stall_ns: io.service_ns, flushes: 0 }
+    }
+
+    /// Chip currently backing `lpn` (`None` when unmapped) — the chip a
+    /// [`Device::flash_read`] of that LPN is serviced by, for the host's
+    /// per-chip outstanding-read ledger.
+    #[inline]
+    pub fn chip_of_lpn(&self, lpn: Lpn) -> Option<usize> {
+        self.ftl.chip_of_lpn(lpn)
     }
 
     /// Flush one eviction batch at `at`: clean batches are dropped for
@@ -112,6 +130,7 @@ impl Device {
     }
 
     /// Hand a flushed batch back to the policy for reuse.
+    #[inline]
     pub fn recycle(&mut self, batch: EvictionBatch) {
         self.cache.recycle(batch)
     }
@@ -129,7 +148,7 @@ impl Device {
 
     /// The cache policy (occupancy queries and event counters).
     pub fn cache(&self) -> &dyn WriteBuffer {
-        self.cache.as_ref()
+        self.cache.as_dyn()
     }
 
     /// Flash operation counters (user/GC programs, reads, erases).

@@ -12,6 +12,7 @@
 
 use crate::config::{SampleInterval, SimConfig};
 use crate::device::Device;
+use crate::event::ChipCursors;
 use crate::host::{FlushWindow, SubmitMode};
 use crate::metrics::Metrics;
 use reqblock_cache::{Access, EvictionBatch};
@@ -33,11 +34,20 @@ pub struct Engine {
     /// which the time-series sampler fires. Starts at 0 so the first
     /// request is always sampled.
     next_sample: u64,
+    /// Next request id at which the metadata-overhead sampler fires;
+    /// threshold compare instead of a per-request modulo.
+    next_overhead_sample: u64,
     /// Reused eviction-batch collection vector: taken at the top of each
     /// request, drained batch by batch (each batch handed back to the
     /// policy via recycle after its flush), and restored at the end — no
     /// per-request or per-eviction allocation.
     evict_scratch: Vec<EvictionBatch>,
+    /// NCQ-style outstanding-read ledger: per-chip FIFO rings of flash
+    /// read completions the host has issued but not yet observed retire.
+    /// Maintained only on instrumented queued runs (recorder enabled and a
+    /// non-zero flush window) so the uninstrumented hot path and the
+    /// synchronous telemetry contract are untouched.
+    read_cursors: ChipCursors,
 }
 
 impl Engine {
@@ -51,7 +61,11 @@ impl Engine {
             req_counter: 0,
             last_arrival_ns: 0,
             next_sample: 0,
-            evict_scratch: Vec::new(),
+            next_overhead_sample: 0,
+            // A page write triggers at most one eviction decision, and even
+            // degenerate policies produce a handful of batches per request.
+            evict_scratch: Vec::with_capacity(4),
+            read_cursors: ChipCursors::new(cfg.ssd.total_chips()),
             cfg,
         }
     }
@@ -141,6 +155,15 @@ impl Engine {
         // Background flushes that retired before this arrival free their
         // window slots (no-op with a zero-capacity synchronous window).
         window.retire_until(at);
+        // The outstanding-read ledger is pure instrumentation: only kept
+        // when the recorder is live *and* the submit mode admits background
+        // work (`Queued { depth >= 2 }`), so the uninstrumented hot path
+        // pays nothing and `Queued { 1 }` telemetry stays byte-identical
+        // to `Synchronous`.
+        let track_ncq = on && window.capacity() > 0;
+        if track_ncq {
+            self.read_cursors.drain_ready(at);
+        }
         let mut done = at;
         let mut evictions = std::mem::take(&mut self.evict_scratch);
         match req.op {
@@ -173,9 +196,11 @@ impl Engine {
                     // program latency, while BPLRU's single-block flushes
                     // serialize.
                     done = done.max(at + self.device.dram_access_ns());
-                    for batch in evictions.drain(..) {
-                        done = done.max(self.settle_flush(&batch, at, on, rec, window));
-                        self.device.recycle(batch);
+                    if !evictions.is_empty() {
+                        for batch in evictions.drain(..) {
+                            done = done.max(self.settle_flush(&batch, at, on, rec, window));
+                            self.device.recycle(batch);
+                        }
                     }
                 }
             }
@@ -183,6 +208,9 @@ impl Engine {
                 self.metrics.read_reqs += 1;
                 for lpn in req.lpns() {
                     self.logical_now += 1;
+                    // Warm the FTL mapping entry behind the buffer lookup:
+                    // on a miss the very next load is `l2p[lpn]`.
+                    self.device.prefetch_read(lpn);
                     let a = Access { lpn, req_id, req_pages: pages as u32, now: self.logical_now };
                     let hit = self.device.buffer_read(&a, &mut evictions);
                     self.metrics.read_pages += 1;
@@ -190,7 +218,17 @@ impl Engine {
                         self.metrics.read_hits += 1;
                         done = done.max(at + self.device.dram_access_ns());
                     } else {
-                        done = done.max(self.device.flash_read(lpn, at).ready_ns);
+                        let c = self.device.flash_read(lpn, at);
+                        done = done.max(c.ready_ns);
+                        if track_ncq {
+                            // Ledger the read on the chip that served it;
+                            // per-chip completion times are monotone (the
+                            // chip busy horizon only advances), which is
+                            // what keeps the cursor rings FIFO.
+                            if let Some(chip) = self.device.chip_of_lpn(lpn) {
+                                self.read_cursors.push(chip, c.ready_ns);
+                            }
+                        }
                     }
                     if on {
                         rec.page(&PageEvent {
@@ -204,9 +242,11 @@ impl Engine {
                     }
                     // Read-caching policies (CFLRU ablation) may evict here;
                     // same stall rules as the write path.
-                    for batch in evictions.drain(..) {
-                        done = done.max(self.settle_flush(&batch, at, on, rec, window));
-                        self.device.recycle(batch);
+                    if !evictions.is_empty() {
+                        for batch in evictions.drain(..) {
+                            done = done.max(self.settle_flush(&batch, at, on, rec, window));
+                            self.device.recycle(batch);
+                        }
                     }
                 }
             }
@@ -214,8 +254,8 @@ impl Engine {
         self.evict_scratch = evictions;
         let response = done.saturating_sub(at);
         self.metrics.record_response(response);
-        if self.cfg.overhead_sample_every > 0 && req_id.is_multiple_of(self.cfg.overhead_sample_every)
-        {
+        if self.cfg.overhead_sample_every > 0 && req_id >= self.next_overhead_sample {
+            self.next_overhead_sample = req_id + self.cfg.overhead_sample_every;
             self.metrics.overhead_samples += 1;
             self.metrics.metadata_bytes_sum += self.device.cache().metadata_bytes() as u128;
             self.metrics.node_count_sum += self.device.cache().node_count() as u128;
@@ -278,6 +318,7 @@ impl Engine {
             // Host queue occupancy exists only in queued mode; gating the
             // series keeps synchronous telemetry byte-identical.
             rec.sample(series::QDEPTH, t, window.outstanding() as f64);
+            rec.sample(series::OUTSTANDING_READS, t, self.read_cursors.outstanding() as f64);
         }
         if let Some([irl, srl, drl]) = self.device.cache().list_occupancy() {
             rec.sample("irl_pages", t, irl as f64);
@@ -383,6 +424,10 @@ impl Engine {
             };
             rec.gauge(series::HOST_QDEPTH, depth as f64);
             rec.gauge(series::HOST_MAX_OUTSTANDING, window.max_outstanding() as f64);
+            rec.gauge(
+                series::HOST_MAX_READS_OUTSTANDING,
+                self.read_cursors.max_outstanding() as f64,
+            );
         }
     }
 

@@ -24,10 +24,9 @@ use crate::metrics::Metrics;
 use reqblock_cache::WriteBuffer;
 use reqblock_flash::{FaultStats, OpCounters};
 use reqblock_ftl::{FtlStats, Health};
+use crate::event::TimerWheel;
 use reqblock_obs::{NoopRecorder, Recorder};
 use reqblock_trace::Request;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// How the host issues requests to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,19 +70,28 @@ impl std::fmt::Display for SubmitMode {
 }
 
 /// The host's bounded window of in-flight eviction flushes (queued mode's
-/// event order, kept as a min-heap of retire times). Zero-capacity in
-/// synchronous mode, where it is never consulted.
+/// event order), carried by the allocation-free [`TimerWheel`] event core:
+/// the arena is pre-reserved to [`SubmitMode::window_slots`] at
+/// construction and slots recycle through the wheel's intrusive freelist,
+/// so a run performs no per-flush allocation. Zero-capacity in synchronous
+/// mode, where it is never consulted.
+///
+/// Retire semantics are identical to the min-heap this replaced: a full
+/// window waits for the *earliest* outstanding flush, and `retire_until`
+/// drops everything at or before `now` — the queued-mode golden pins stay
+/// valid bit for bit.
 #[derive(Debug, Clone, Default)]
 pub struct FlushWindow {
     slots: usize,
-    inflight: BinaryHeap<Reverse<u64>>,
-    max_outstanding: usize,
+    inflight: TimerWheel,
 }
 
 impl FlushWindow {
-    /// A window sized for `mode`.
+    /// A window sized for `mode`, with its event arena pre-reserved to the
+    /// mode's slot count (no mid-run growth).
     pub fn new(mode: SubmitMode) -> Self {
-        Self { slots: mode.window_slots(), inflight: BinaryHeap::new(), max_outstanding: 0 }
+        let slots = mode.window_slots();
+        Self { slots, inflight: TimerWheel::with_capacity(slots) }
     }
 
     /// Background-flush slots (0 in synchronous mode).
@@ -98,18 +106,14 @@ impl FlushWindow {
 
     /// High-water mark of [`FlushWindow::outstanding`] over the run.
     pub fn max_outstanding(&self) -> usize {
-        self.max_outstanding
+        self.inflight.max_len()
     }
 
     /// Drop every in-flight flush that has retired by `now` (event order:
     /// earliest retire time first).
+    #[inline]
     pub fn retire_until(&mut self, now: u64) {
-        while let Some(&Reverse(ready)) = self.inflight.peek() {
-            if ready > now {
-                break;
-            }
-            self.inflight.pop();
-        }
+        self.inflight.retire_until(now);
     }
 
     /// Admit a flush retiring at `ready_ns`. When the window is full the
@@ -118,10 +122,12 @@ impl FlushWindow {
     /// Must not be called on a zero-capacity window.
     pub fn admit(&mut self, ready_ns: u64) -> Option<u64> {
         debug_assert!(self.slots > 0, "synchronous hosts never admit background flushes");
-        let waited =
-            if self.inflight.len() >= self.slots { self.inflight.pop().map(|Reverse(t)| t) } else { None };
-        self.inflight.push(Reverse(ready_ns));
-        self.max_outstanding = self.max_outstanding.max(self.inflight.len());
+        let waited = if self.inflight.len() >= self.slots {
+            self.inflight.pop_earliest().map(|(t, _)| t)
+        } else {
+            None
+        };
+        self.inflight.insert(ready_ns, 0);
         waited
     }
 }

@@ -48,18 +48,24 @@
 //! and into [`runner::RunResult::faults`]; zero-fault runs emit none of
 //! these keys, so existing telemetry consumers see no change.
 
+pub mod buffer;
 pub mod config;
 pub mod device;
 pub mod engine;
+pub mod event;
 pub mod host;
+pub mod load;
 pub mod metrics;
 pub mod probes;
 pub mod runner;
 
+pub use buffer::PolicyBuffer;
 pub use config::{CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
 pub use device::Device;
 pub use engine::Engine;
+pub use event::{ChipCursors, TimerWheel};
 pub use host::{FlushWindow, Ssd, SubmitMode};
+pub use load::ArrivalProcess;
 pub use reqblock_flash::{DegradedMode, FaultConfig, FaultStats};
 pub use reqblock_ftl::Health;
 pub use metrics::Metrics;
