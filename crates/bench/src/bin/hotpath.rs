@@ -8,12 +8,15 @@
 //! requests/sec as JSON (the regression gate reads the median — it is
 //! robust to a single noisy repeat in either direction).
 //!
-//! Each policy is measured three times: with the no-op recorder (the normal
+//! Each policy is measured four times: with the no-op recorder (the normal
 //! synchronous path — this is what the regression gates watch, since a
 //! disabled observability layer must cost ~nothing), with a full
-//! [`MemoryRecorder`] capturing page events and sampled time series, and in
+//! [`MemoryRecorder`] capturing page events and sampled time series, in
 //! queued submit mode (`Queued { depth: 8 }`) to track the host layer's
-//! flush-window overhead. The JSON reports all three plus the recording
+//! flush-window overhead, and with latency attribution configured but the
+//! recorder disabled (`attr_noop`) — the double gate must monomorphize the
+//! whole attribution layer away, so this mode is gated against the plain
+//! no-op path of the same run. The JSON reports all four plus the recording
 //! overhead percentage.
 //!
 //! ```text
@@ -27,8 +30,8 @@
 use reqblock_core::ReqBlockConfig;
 use reqblock_obs::MemoryRecorder;
 use reqblock_sim::{
-    run_source, run_source_recorded, CacheSizeMb, PolicyKind, SampleInterval, SimConfig,
-    SubmitMode, TraceSource,
+    run_source, run_source_recorded, AttrConfig, CacheSizeMb, PolicyKind, SampleInterval,
+    SimConfig, SubmitMode, TraceSource,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -62,23 +65,27 @@ fn policy_name(policy: PolicyKind) -> &'static str {
     }
 }
 
-/// Best-of-`repeats` replay, measured three times per repeat: with the
+/// Best-of-`repeats` replay, measured four times per repeat: with the
 /// no-op recorder (the normal path), with a full [`MemoryRecorder`]
-/// capturing page events plus time series sampled every 1000 requests, and
-/// in queued submit mode (`Queued { depth: 8 }`, no-op recorder) to track
-/// the flush-window overhead of the host layer. The modes are interleaved
-/// inside every repeat so a load spike on a shared machine hits all of
-/// them the same way — sequential blocks would let background noise
-/// masquerade as (or hide) per-mode overhead.
+/// capturing page events plus time series sampled every 1000 requests, in
+/// queued submit mode (`Queued { depth: 8 }`, no-op recorder) to track
+/// the flush-window overhead of the host layer, and with attribution
+/// configured under the no-op recorder (`attr_noop`) — the engine's
+/// double gate (`rec.enabled() && attr configured`) must compile the
+/// attribution bookkeeping out of this path entirely. The modes are
+/// interleaved inside every repeat so a load spike on a shared machine
+/// hits all of them the same way — sequential blocks would let background
+/// noise masquerade as (or hide) per-mode overhead.
 fn measure(
     policy: PolicyKind,
     source: &TraceSource,
     requests: u64,
     repeats: u32,
-) -> (PolicyResult, PolicyResult, PolicyResult) {
+) -> (PolicyResult, PolicyResult, PolicyResult, PolicyResult) {
     let cfg = SimConfig::paper(CacheSizeMb::Mb16, policy);
     let cfg_rec = cfg.clone().with_sampling(SampleInterval::Requests(1_000));
     let cfg_queued = cfg.clone().with_submit(SubmitMode::Queued { depth: 8 });
+    let cfg_attr = cfg.clone().with_attribution(AttrConfig::default());
     // Warm-up replays: page in code and the trace generator's tables.
     let warm = run_source(&cfg, source);
     let mut warm_rec = MemoryRecorder::default();
@@ -92,9 +99,15 @@ fn measure(
         warm.flash, warm_queued.flash,
         "flash traffic must be depth-invariant across submit modes"
     );
+    let warm_attr = run_source(&cfg_attr, source);
+    assert_eq!(
+        warm.metrics, warm_attr.metrics,
+        "attribution config must not change the simulated model"
+    );
     let mut noop_times = Vec::with_capacity(repeats as usize);
     let mut recording_times = Vec::with_capacity(repeats as usize);
     let mut queued_times = Vec::with_capacity(repeats as usize);
+    let mut attr_times = Vec::with_capacity(repeats as usize);
     for _ in 0..repeats {
         let t0 = Instant::now();
         let res = run_source(&cfg, source);
@@ -120,6 +133,14 @@ fn measure(
             res.metrics, warm_queued.metrics,
             "queued replay must be deterministic across repeats"
         );
+
+        let t0 = Instant::now();
+        let res = run_source(&cfg_attr, source);
+        attr_times.push(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            res.metrics, warm.metrics,
+            "attr-noop replay must be deterministic across repeats"
+        );
     }
     let result = |times: &[f64]| {
         let best = times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
@@ -133,7 +154,12 @@ fn measure(
             hit_ratio: warm.metrics.hit_ratio(),
         }
     };
-    (result(&noop_times), result(&recording_times), result(&queued_times))
+    (
+        result(&noop_times),
+        result(&recording_times),
+        result(&queued_times),
+        result(&attr_times),
+    )
 }
 
 fn push_policy_array(json: &mut String, key: &str, results: &[PolicyResult], last: bool) {
@@ -182,11 +208,13 @@ fn main() {
     let mut noop = Vec::new();
     let mut recording = Vec::new();
     let mut queued = Vec::new();
+    let mut attr_noop = Vec::new();
     for &p in &policies {
-        let (n, r, q) = measure(p, &source, requests, repeats);
+        let (n, r, q, a) = measure(p, &source, requests, repeats);
         noop.push(n);
         recording.push(r);
         queued.push(q);
+        attr_noop.push(a);
     }
 
     for r in &noop {
@@ -209,6 +237,13 @@ fn main() {
             q.name, q.requests_per_sec, q.best_elapsed_ms, pct
         );
     }
+    for (n, a) in noop.iter().zip(&attr_noop) {
+        let pct = (a.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;
+        eprintln!(
+            "hotpath: {:<9} attr noop {:>12.0} req/s  (best {:.1} ms, overhead {:+.1}%)",
+            a.name, a.requests_per_sec, a.best_elapsed_ms, pct
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -220,6 +255,7 @@ fn main() {
     push_policy_array(&mut json, "policies", &noop, false);
     push_policy_array(&mut json, "recording_policies", &recording, false);
     push_policy_array(&mut json, "queued_policies", &queued, false);
+    push_policy_array(&mut json, "attr_noop_policies", &attr_noop, false);
     json.push_str("  \"recording_overhead_pct\": [\n");
     for (i, (n, r)) in noop.iter().zip(&recording).enumerate() {
         let pct = (r.best_elapsed_ms - n.best_elapsed_ms) / n.best_elapsed_ms * 100.0;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
-//!       [--depths D1,D2,...] <command>
+//!       [--depths D1,D2,...] [--rates R1,R2,...] <command>
 //!
 //! commands:
 //!   table1      Table 1  (SSD configuration)
@@ -24,6 +24,11 @@
 //!   load        extension: X6 latency vs offered throughput — the ts_0
 //!               request mix re-timed by open-loop Poisson/bursty arrival
 //!               processes, p50/p99/p99.9 per policy and offered rate
+//!               (default multipliers 0.25x-8x; `--rates 0.5,2,...` picks
+//!               the grid)
+//!   why         tail forensics: per-component latency attribution across
+//!               policy x depth x offered load, plus Perfetto-loadable
+//!               trace JSON and size-rotated telemetry shards per point
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
@@ -46,12 +51,14 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
-         [--depths D1,D2,...] \
+         [--depths D1,D2,...] [--rates R1,R2,...] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|faults|qdepth|load|telemetry|export|all>\n\
+          tails|wear|ablations|faults|qdepth|load|why|telemetry|export|all>\n\
          --threads defaults to the host's available parallelism; \
          --threads 1 is the explicit serial mode (identical output)\n\
-         --depths picks the qdepth sweep's queue-depth grid (default 1,2,4,8,16,32)"
+         --depths picks the qdepth sweep's queue-depth grid (default 1,2,4,8,16,32)\n\
+         --rates picks the load sweep's offered-rate multipliers \
+         (default 0.25,0.5,1,2,4,8)"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,9 @@ struct CliExtras {
     /// Queue-depth grid for `qdepth` (`--depths`); `None` = the default
     /// [`extensions::QDEPTH_SWEEP`].
     depths: Option<Vec<u32>>,
+    /// Offered-rate multipliers for `load` (`--rates`); `None` = the
+    /// default [`extensions::LOAD_SWEEP`].
+    rates: Option<Vec<f64>>,
 }
 
 fn parse_args() -> (Opts, CliExtras, String) {
@@ -81,6 +91,17 @@ fn parse_args() -> (Opts, CliExtras, String) {
                     usage();
                 }
                 extras.depths = Some(depths);
+            }
+            "--rates" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let rates: Vec<f64> = v
+                    .split(',')
+                    .map(|r| r.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if rates.is_empty() || rates.iter().any(|&r| !r.is_finite() || r <= 0.0) {
+                    usage();
+                }
+                extras.rates = Some(rates);
             }
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -176,6 +197,46 @@ fn run_telemetry(opts: &Opts, trace: &str) {
     emit(opts, &format!("telemetry_{trace}"), &[summary]);
 }
 
+/// `repro why`: per-component tail attribution table, one Perfetto-loadable
+/// trace JSON per grid point, and size-rotated telemetry shards.
+fn run_why(opts: &Opts) {
+    let t0 = Instant::now();
+    eprintln!(
+        "running tail-attribution grid (2 policies x {} depths x {} loads, scale {}) ...",
+        extensions::WHY_DEPTHS.len(),
+        extensions::WHY_LOADS.len(),
+        opts.scale
+    );
+    let report = extensions::why(opts);
+    eprintln!("grid done in {:.1?}", t0.elapsed());
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: could not create {}: {e}", opts.out_dir.display());
+    }
+    for (stem, json) in &report.traces {
+        let path = opts.out_dir.join(format!("{stem}.trace.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[saved {} (open in Perfetto / chrome://tracing)]", path.display());
+        }
+    }
+    let mut writer =
+        reqblock_obs::TelemetryWriter::new(&opts.out_dir, "why_telemetry", 64 * 1024);
+    for doc in &report.telemetry {
+        writer.push_document(doc);
+    }
+    match writer.finish() {
+        Ok(paths) => {
+            for p in &paths {
+                println!("[saved {}]", p.display());
+            }
+            println!("[{} telemetry shard(s), rotated at 64 KiB]\n", paths.len());
+        }
+        Err(e) => eprintln!("warning: could not write telemetry shards: {e}"),
+    }
+    emit(opts, "why", &[report.table]);
+}
+
 fn main() -> ExitCode {
     let (opts, extras, cmd) = parse_args();
     let t0 = Instant::now();
@@ -209,7 +270,11 @@ fn main() -> ExitCode {
             let depths = extras.depths.as_deref().unwrap_or(&extensions::QDEPTH_SWEEP);
             emit(&opts, "qdepth", &[extensions::qdepth_sweep_depths(&opts, depths)]);
         }
-        "load" => emit(&opts, "load", &[extensions::load_sweep(&opts)]),
+        "load" => {
+            let rates = extras.rates.as_deref().unwrap_or(&extensions::LOAD_SWEEP);
+            emit(&opts, "load", &[extensions::load_sweep_rates(&opts, rates)]);
+        }
+        "why" => run_why(&opts),
         cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
             let trace = cmd.strip_prefix("telemetry").unwrap().trim();
             let trace = if trace.is_empty() { "ts_0" } else { trace };

@@ -11,12 +11,15 @@
 //!   bad blocks, remapped pages and the device health outcome.
 
 use crate::figures::{run_pool, Opts};
-use crate::report::{f2, f3, Table};
+use crate::report::{f2, f3, pct, Table};
 use reqblock_cache::policies::BplruConfig;
 use reqblock_core::{PriorityModel, ReqBlockConfig};
+use reqblock_obs::telemetry::to_jsonl;
+use reqblock_obs::{MemoryRecorder, TraceBuilder};
 use reqblock_sim::{
-    ArrivalProcess, CacheSizeMb, FaultConfig, Job, PolicyKind, RunResult, SampleInterval,
-    SimConfig, SubmitMode, TraceSource,
+    run_task_pool, ArrivalProcess, AttrAcc, AttrConfig, CacheSizeMb, Component, FaultConfig,
+    IntervalLog, Job, Metrics, PolicyKind, RunResult, SampleInterval, SimConfig, Ssd, SubmitMode,
+    Task, TraceSource,
 };
 
 /// Percentile columns reported by [`tails`].
@@ -220,6 +223,7 @@ pub(crate) fn fault_jobs(opts: &Opts) -> Vec<Job> {
                     ..FaultConfig::default()
                 },
                 submit: SubmitMode::Synchronous,
+                attr: None,
             },
             source: TraceSource::Synthetic(profile.clone()),
         })
@@ -363,6 +367,15 @@ pub const LOAD_BURST: (u32, u32) = (64, 8);
 /// device's back-to-back per-request service gap. The probe runs at plan
 /// time on one thread, so the grid stays thread-count invariant.
 pub(crate) fn load_jobs(opts: &Opts) -> Vec<Job> {
+    load_jobs_for(opts, &LOAD_SWEEP)
+}
+
+/// [`load_jobs`] over a caller-chosen multiplier list (`repro load
+/// --rates 0.5,2,8`). Multipliers are relative to the calibrated
+/// back-to-back service rate, like [`LOAD_SWEEP`]; arrival seeds depend
+/// only on the position in the list, so the default grid's jobs are
+/// unchanged byte for byte.
+pub(crate) fn load_jobs_for(opts: &Opts, mults: &[f64]) -> Vec<Job> {
     let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
     let base = TraceSource::Synthetic(profile);
     let requests = base.shared_requests();
@@ -372,7 +385,7 @@ pub(crate) fn load_jobs(opts: &Opts) -> Vec<Job> {
     let service_gap_ns = (cal.metrics.max_response_ns / requests.len() as u64).max(1);
     let mut jobs = Vec::new();
     for policy in PolicyKind::paper_comparison() {
-        for (i, mult) in LOAD_SWEEP.into_iter().enumerate() {
+        for (i, mult) in mults.iter().copied().enumerate() {
             let process = ArrivalProcess::Poisson {
                 mean_interarrival_ns: ((service_gap_ns as f64 / mult) as u64).max(1),
             };
@@ -436,7 +449,235 @@ pub(crate) fn load_build(results: Vec<(String, RunResult)>) -> Table {
 
 /// X6 extension: latency vs offered throughput per policy (open loop).
 pub fn load_sweep(opts: &Opts) -> Table {
-    load_build(run_pool(load_jobs(opts), opts.threads))
+    load_sweep_rates(opts, &LOAD_SWEEP)
+}
+
+/// [`load_sweep`] over a caller-chosen rate-multiplier list (`repro load
+/// --rates 0.5,2,8`). Multipliers may repeat or be unordered; rows follow
+/// the given order per policy, with the fixed bursty 1x row appended like
+/// the default grid.
+pub fn load_sweep_rates(opts: &Opts, mults: &[f64]) -> Table {
+    assert!(!mults.is_empty(), "load sweep needs at least one rate multiplier");
+    load_build(run_pool(load_jobs_for(opts, mults), opts.threads))
+}
+
+/// Host queue depths probed by [`why`] (X7).
+pub const WHY_DEPTHS: [u32; 2] = [1, 8];
+
+/// Offered-load multipliers probed by [`why`], relative to the calibrated
+/// back-to-back service rate (same calibration as [`LOAD_SWEEP`]): one
+/// point comfortably below the knee, one past it, one deep in overload.
+pub const WHY_LOADS: [f64; 3] = [0.5, 2.0, 8.0];
+
+/// The two policies [`why`] contrasts: the baseline and the paper's
+/// contribution.
+pub fn why_policies() -> [PolicyKind; 2] {
+    [PolicyKind::Lru, PolicyKind::ReqBlock(ReqBlockConfig::paper())]
+}
+
+/// One fully analysed tail-forensics grid point.
+pub struct WhyPoint {
+    /// `policy|depth|mult` label.
+    pub label: String,
+    /// Plain run metrics (response percentiles).
+    pub metrics: Metrics,
+    /// Attribution accumulator: component totals, histograms, sampled
+    /// spans.
+    pub attr: AttrAcc,
+    /// Chip/channel busy intervals captured for the trace export.
+    pub intervals: Option<IntervalLog>,
+    /// Telemetry JSONL document of the recorded run (one shard for the
+    /// rotating writer).
+    pub telemetry: String,
+}
+
+/// Everything `repro why` produces: the per-point tail-attribution table
+/// plus the Perfetto trace documents and telemetry shards to write out.
+pub struct WhyReport {
+    /// The X7 attribution table.
+    pub table: Table,
+    /// `(file stem, Chrome trace_event JSON)` per grid point, grid order.
+    pub traces: Vec<(String, String)>,
+    /// Telemetry JSONL documents, one per grid point, grid order.
+    pub telemetry: Vec<String>,
+}
+
+/// Run the X7 grid: [`why_policies`] x [`WHY_DEPTHS`] x [`WHY_LOADS`],
+/// replaying the `ts_0` mix open-loop with attribution enabled. Unlike the
+/// [`Job`] grids this keeps the whole device around per point — the
+/// attribution accumulator and captured busy intervals live on the `Ssd`,
+/// not in the [`RunResult`] — so it drives [`run_task_pool`] directly.
+/// Sampling is deterministic in the run alone, so the grid is
+/// thread-count invariant.
+pub(crate) fn why_points(opts: &Opts) -> Vec<WhyPoint> {
+    let profile = reqblock_trace::profiles::ts_0().scaled(opts.scale);
+    let base = TraceSource::Synthetic(profile);
+    let requests = base.shared_requests();
+    let probe: Vec<reqblock_trace::Request> =
+        requests.iter().map(|r| reqblock_trace::Request { time_ns: 0, ..*r }).collect();
+    let cal = reqblock_sim::run_trace(&SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::Lru), probe);
+    let service_gap_ns = (cal.metrics.max_response_ns / requests.len() as u64).max(1);
+    let mut specs: Vec<(String, SimConfig, TraceSource)> = Vec::new();
+    for policy in why_policies() {
+        for &depth in &WHY_DEPTHS {
+            for (i, mult) in WHY_LOADS.into_iter().enumerate() {
+                let process = ArrivalProcess::Poisson {
+                    mean_interarrival_ns: ((service_gap_ns as f64 / mult) as u64).max(1),
+                };
+                // Seeded per rate step like the X6 sweep: every policy and
+                // depth sees byte-identical arrivals at the same load.
+                let source = TraceSource::open_loop(base.clone(), process, 0x7A11_CA05 + i as u64);
+                let cfg = SimConfig::paper(CacheSizeMb::Mb32, policy)
+                    .with_submit(SubmitMode::Queued { depth })
+                    .with_attribution(AttrConfig::default());
+                specs.push((format!("{}|{depth}|{mult}", policy.name()), cfg, source));
+            }
+        }
+    }
+    let slots: Vec<std::sync::OnceLock<WhyPoint>> =
+        (0..specs.len()).map(|_| std::sync::OnceLock::new()).collect();
+    let tasks: Vec<Task<'_>> = specs
+        .iter()
+        .zip(&slots)
+        .map(|((label, cfg, source), slot)| {
+            Task::new(label.clone(), move || {
+                let mut rec = MemoryRecorder::default();
+                let mut ssd = Ssd::new(cfg.clone());
+                source.for_each_request(|req| {
+                    ssd.submit_recorded(&req, &mut rec);
+                });
+                ssd.finish_recording(&mut rec);
+                let telemetry =
+                    to_jsonl(&rec, &[("experiment", "why".into()), ("point", label.clone())]);
+                let point = WhyPoint {
+                    label: label.clone(),
+                    metrics: ssd.metrics().clone(),
+                    attr: ssd.attribution().expect("attr configured").clone(),
+                    intervals: ssd.device().busy_intervals().cloned(),
+                    telemetry,
+                };
+                let ok = slot.set(point).is_ok();
+                debug_assert!(ok, "why slot filled twice");
+            })
+        })
+        .collect();
+    run_task_pool(tasks, opts.threads);
+    slots.into_iter().map(|s| s.into_inner().expect("every point must finish")).collect()
+}
+
+/// Component columns of the X7 table, in display order.
+/// [`Component::DispatchWait`] is omitted: the engine dispatches at
+/// arrival under every submit mode, so it is structurally zero (see the
+/// variant's docs).
+const WHY_COLUMNS: [Component; 6] = [
+    Component::CacheService,
+    Component::FlushStall,
+    Component::ReadQueueWait,
+    Component::ReadService,
+    Component::GcInterference,
+    Component::ReadRetry,
+];
+
+/// Render the X7 table from analysed points (order of [`why_points`]).
+pub(crate) fn why_build(points: &[WhyPoint]) -> Table {
+    let mut cols = vec!["Policy", "Depth", "Load", "p50 (ms)", "p99 (ms)", "p99.9 (ms)"];
+    let names: Vec<String> = WHY_COLUMNS.iter().map(|c| format!("{} %", c.name())).collect();
+    cols.extend(names.iter().map(String::as_str));
+    cols.push("Tail cause");
+    let mut t = Table::new(
+        "Extension - X7: tail forensics - response attribution by component (ts_0 mix, open loop, 32MB)",
+        &cols,
+    );
+    for p in points {
+        let mut parts = p.label.split('|');
+        let policy = parts.next().expect("why label has policy");
+        let depth = parts.next().expect("why label has depth");
+        let mult = parts.next().expect("why label has multiplier");
+        let total = p.attr.total_response_ns().max(1) as f64;
+        let mut row = vec![
+            policy.to_string(),
+            depth.to_string(),
+            format!("{mult}x"),
+            f3(p.metrics.response_percentile_ms(0.50)),
+            f3(p.metrics.response_percentile_ms(0.99)),
+            f3(p.metrics.response_percentile_ms(0.999)),
+        ];
+        for c in WHY_COLUMNS {
+            row.push(pct(p.attr.total_ns(c) as f64 / total));
+        }
+        row.push(p.attr.dominant_tail_component().name().to_string());
+        t.push_row(row);
+    }
+    t
+}
+
+/// Render one point's sampled request lifecycles and chip/channel busy
+/// intervals as a Chrome `trace_event` JSON document (open it in Perfetto
+/// or `about:tracing`). Track layout: pid 1 one track per sampled request
+/// with its components laid out back-to-back from arrival; pid 2 chips;
+/// pid 3 channel buses (GC-issued operations categorised `"gc"`).
+pub fn why_trace_json(point: &WhyPoint) -> String {
+    let mut b = TraceBuilder::new();
+    b.process_name(1, "sampled requests");
+    for (i, span) in point.attr.sampled_spans().iter().enumerate() {
+        let tid = i as u32;
+        b.thread_name(1, tid, &format!("req {}", span.req_id));
+        let mut at = span.start_ns;
+        for c in Component::ALL {
+            let d = span.parts[c.index()];
+            if d > 0 {
+                b.slice(1, tid, c.name(), "attr", at, d);
+                at += d;
+            }
+        }
+    }
+    if let Some(log) = &point.intervals {
+        b.process_name(2, "chips");
+        for (chip, track) in log.chip.iter().enumerate() {
+            if track.is_empty() {
+                continue;
+            }
+            b.thread_name(2, chip as u32, &format!("chip {chip}"));
+            for iv in track {
+                let cat = if iv.gc { "gc" } else { "flash" };
+                b.slice(2, chip as u32, iv.kind.name(), cat, iv.start_ns, iv.end_ns - iv.start_ns);
+            }
+        }
+        b.process_name(3, "channels");
+        for (ch, track) in log.channel.iter().enumerate() {
+            if track.is_empty() {
+                continue;
+            }
+            b.thread_name(3, ch as u32, &format!("channel {ch}"));
+            for iv in track {
+                let cat = if iv.gc { "gc" } else { "flash" };
+                b.slice(3, ch as u32, iv.kind.name(), cat, iv.start_ns, iv.end_ns - iv.start_ns);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// File stem for one point's trace document (`why_req_block_qd8_2x`).
+fn why_stem(label: &str) -> String {
+    let mut parts = label.split('|');
+    let policy = parts.next().unwrap_or("unknown").to_lowercase().replace('-', "_");
+    let depth = parts.next().unwrap_or("0");
+    let mult = parts.next().unwrap_or("0");
+    format!("why_{policy}_qd{depth}_{mult}x")
+}
+
+/// X7 extension: per-request tail forensics. For each policy x depth x
+/// offered-load point, attribute p50/p99/p99.9 response time to named
+/// components and name the dominant tail cause; also produce the Perfetto
+/// trace documents and telemetry shards `repro why` writes to disk.
+pub fn why(opts: &Opts) -> WhyReport {
+    let points = why_points(opts);
+    let table = why_build(&points);
+    let traces =
+        points.iter().map(|p| (why_stem(&p.label), why_trace_json(p))).collect();
+    let telemetry = points.into_iter().map(|p| p.telemetry).collect();
+    WhyReport { table, traces, telemetry }
 }
 
 #[cfg(test)]
@@ -534,6 +775,70 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    #[test]
+    fn load_sweep_accepts_custom_rate_list() {
+        let t = load_sweep_rates(&tiny_opts(), &[0.5, 4.0]);
+        // Per policy: both Poisson steps plus the fixed bursty row.
+        assert_eq!(t.rows.len(), 4 * 3);
+        for policy in PolicyKind::paper_comparison() {
+            for load in ["0.5x", "4x"] {
+                assert!(
+                    t.rows.iter().any(|row| row[0] == policy.name() && row[2] == load),
+                    "missing row {}/{load}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn why_covers_grid_and_attributes_the_tail() {
+        let report = why(&tiny_opts());
+        let t = &report.table;
+        let grid = why_policies().len() * WHY_DEPTHS.len() * WHY_LOADS.len();
+        assert_eq!(t.rows.len(), grid);
+        assert_eq!(report.traces.len(), grid);
+        assert_eq!(report.telemetry.len(), grid);
+        let component_names: Vec<&str> = Component::ALL.iter().map(|c| c.name()).collect();
+        for row in &t.rows {
+            // Component shares are percentages that sum to ~100.
+            let total: f64 =
+                row[6..12].iter().map(|c| c.trim_end_matches('%').parse::<f64>().unwrap()).sum();
+            assert!((total - 100.0).abs() < 0.7, "shares must sum to ~100%: {row:?}");
+            let cause = row.last().unwrap().as_str();
+            assert!(component_names.contains(&cause), "unknown tail cause {cause}");
+        }
+        // Overload rows exist and their p99 dominates the light-load p99.
+        let p99 = |policy: &str, depth: &str, load: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == policy && r[1] == depth && r[2] == load)
+                .unwrap_or_else(|| panic!("missing row {policy}/{depth}/{load}"))[4]
+                .parse()
+                .unwrap()
+        };
+        assert!(p99("LRU", "1", "8x") >= p99("LRU", "1", "0.5x"));
+        // Every trace document is a loadable trace_event JSON with slices.
+        for (stem, json) in &report.traces {
+            assert!(stem.starts_with("why_"), "stem {stem}");
+            assert!(json.starts_with("{\"traceEvents\":["), "{stem} not a trace doc");
+            assert!(json.contains("\"ph\":\"X\""), "{stem} has no slices");
+            assert!(json.contains("\"ph\":\"M\""), "{stem} has no track names");
+        }
+        // Telemetry shards carry the attribution rollup keys.
+        for doc in &report.telemetry {
+            assert!(doc.contains("attr_sampled_spans"), "shard missing attr rollup");
+        }
+    }
+
+    #[test]
+    fn why_is_thread_invariant() {
+        let serial = why(&Opts { threads: 1, ..tiny_opts() });
+        let parallel = why(&Opts { threads: 3, ..tiny_opts() });
+        assert_eq!(serial.table.rows, parallel.table.rows);
+        assert_eq!(serial.traces, parallel.traces, "trace export must be deterministic");
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod timeline;
 pub use addr::{Addr, ChipId, Ppn};
 pub use config::SsdConfig;
 pub use fault::{DegradedMode, FaultConfig, FaultModel, FaultStats, PPM_SCALE};
-pub use timeline::{BusyStats, Completion, FlashTimeline, OpCounters};
+pub use timeline::{BusyStats, Completion, FlashTimeline, IntervalLog, OpCounters, OpInterval, OpKind};

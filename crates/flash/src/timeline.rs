@@ -132,6 +132,83 @@ pub enum Origin {
     Gc,
 }
 
+/// Kind of a captured flash operation (interval labelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Page read (sense + transfer out).
+    Read,
+    /// Page program (transfer in + array program).
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+impl OpKind {
+    /// Stable lowercase name (trace-export slice label).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Program => "program",
+            OpKind::Erase => "erase",
+        }
+    }
+}
+
+/// One captured busy interval on a chip or channel track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpInterval {
+    /// When the resource became busy, ns.
+    pub start_ns: u64,
+    /// When the resource was released, ns.
+    pub end_ns: u64,
+    /// What occupied it.
+    pub kind: OpKind,
+    /// Whether GC issued the operation.
+    pub gc: bool,
+}
+
+/// Per-interval capture cap per track; beyond it intervals are counted in
+/// [`IntervalLog::dropped`] instead of stored (a full-scale trace would
+/// otherwise hold millions of intervals nobody renders).
+const TRACK_CAP: usize = 4_096;
+
+/// Captured per-chip and per-channel busy intervals (opt-in via
+/// [`FlashTimeline::enable_interval_capture`]; the plain path never
+/// allocates this). Intervals on one track never overlap: the busy-horizon
+/// scheduling discipline starts every operation at or after the previous
+/// release of the same resource.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalLog {
+    /// Intervals per chip, in schedule order (monotone start times).
+    pub chip: Vec<Vec<OpInterval>>,
+    /// Intervals per channel bus, in schedule order.
+    pub channel: Vec<Vec<OpInterval>>,
+    /// Intervals that did not fit under the per-track cap.
+    pub dropped: u64,
+}
+
+impl IntervalLog {
+    fn new(channels: usize, chips: usize) -> Self {
+        Self { chip: vec![Vec::new(); chips], channel: vec![Vec::new(); channels], dropped: 0 }
+    }
+
+    fn push_chip(&mut self, chip: ChipId, iv: OpInterval) {
+        if self.chip[chip].len() < TRACK_CAP {
+            self.chip[chip].push(iv);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn push_channel(&mut self, ch: usize, iv: OpInterval) {
+        if self.channel[ch].len() < TRACK_CAP {
+            self.channel[ch].push(iv);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
 /// Per-channel and per-chip busy horizons plus operation counters.
 #[derive(Debug, Clone)]
 pub struct FlashTimeline {
@@ -148,6 +225,9 @@ pub struct FlashTimeline {
     xfer_ns: u64,
     counters: OpCounters,
     busy: BusyStats,
+    /// Opt-in busy-interval capture (`None` on the plain path; one cold
+    /// branch per operation when disabled).
+    intervals: Option<Box<IntervalLog>>,
     /// Running maximum over all per-resource horizons, maintained on every
     /// scheduled operation so [`Self::horizon_ns`] is O(1) instead of a
     /// max-scan over channels + chips (it sits on the per-sample path of
@@ -167,6 +247,7 @@ impl FlashTimeline {
             xfer_ns: cfg.page_transfer_ns(),
             counters: OpCounters::default(),
             busy: BusyStats::new(cfg.channels, cfg.total_chips()),
+            intervals: None,
             horizon_ns: 0,
         }
     }
@@ -179,6 +260,22 @@ impl FlashTimeline {
     /// Busy-time accounting so far.
     pub fn busy(&self) -> &BusyStats {
         &self.busy
+    }
+
+    /// Start capturing per-chip / per-channel busy intervals from this
+    /// point on (idempotent; intervals already captured are kept).
+    pub fn enable_interval_capture(&mut self) {
+        if self.intervals.is_none() {
+            self.intervals = Some(Box::new(IntervalLog::new(
+                self.channel_free_ns.len(),
+                self.chip_free_ns.len(),
+            )));
+        }
+    }
+
+    /// Captured busy intervals, when capture is enabled.
+    pub fn intervals(&self) -> Option<&IntervalLog> {
+        self.intervals.as_deref()
     }
 
     /// Earliest time `chip` can start an array operation.
@@ -225,6 +322,11 @@ impl FlashTimeline {
             Origin::User => self.counters.user_reads += 1,
             Origin::Gc => self.counters.gc_reads += 1,
         }
+        if let Some(log) = self.intervals.as_deref_mut() {
+            let gc = origin == Origin::Gc;
+            log.push_chip(chip, OpInterval { start_ns: sense_start, end_ns: end, kind: OpKind::Read, gc });
+            log.push_channel(ch, OpInterval { start_ns: xfer_start, end_ns: end, kind: OpKind::Read, gc });
+        }
         Completion { start_ns: sense_start, end_ns: end }
     }
 
@@ -252,6 +354,11 @@ impl FlashTimeline {
             Origin::User => self.counters.user_programs += 1,
             Origin::Gc => self.counters.gc_programs += 1,
         }
+        if let Some(log) = self.intervals.as_deref_mut() {
+            let gc = origin == Origin::Gc;
+            log.push_chip(chip, OpInterval { start_ns: xfer_start, end_ns: end, kind: OpKind::Program, gc });
+            log.push_channel(ch, OpInterval { start_ns: xfer_start, end_ns: xfer_done, kind: OpKind::Program, gc });
+        }
         Completion { start_ns: xfer_start, end_ns: end }
     }
 
@@ -276,6 +383,9 @@ impl FlashTimeline {
         self.busy.note_wait(at, start);
         self.busy.chip_busy_ns[chip] += cfg.erase_latency_ns;
         self.counters.erases += 1;
+        if let Some(log) = self.intervals.as_deref_mut() {
+            log.push_chip(chip, OpInterval { start_ns: start, end_ns: end, kind: OpKind::Erase, gc: true });
+        }
         Completion { start_ns: start, end_ns: end }
     }
 }
@@ -473,6 +583,34 @@ mod tests {
         let util = tl.busy().channel_utilization(tl.horizon_ns().max(last_arrival));
         assert!(util > 0.0);
         assert!(util <= 1.0, "horizon-windowed utilization must be <= 1, got {util}");
+    }
+
+    #[test]
+    fn interval_capture_is_opt_in_and_non_overlapping() {
+        let cfg = cfg();
+        let mut tl = FlashTimeline::new(&cfg);
+        tl.program(&cfg, 0, 0, Origin::User);
+        assert!(tl.intervals().is_none(), "capture must be opt-in");
+        tl.enable_interval_capture();
+        tl.program(&cfg, 0, 0, Origin::User);
+        tl.read(&cfg, 0, 0, Origin::User);
+        tl.read(&cfg, 1, 0, Origin::Gc);
+        tl.erase(&cfg, 0, 0);
+        let log = tl.intervals().unwrap();
+        // Chip 0: program, read, erase — all after the uncaptured first op.
+        let kinds: Vec<OpKind> = log.chip[0].iter().map(|iv| iv.kind).collect();
+        assert_eq!(kinds, vec![OpKind::Program, OpKind::Read, OpKind::Erase]);
+        assert!(log.chip[1][0].gc, "GC origin must be labelled");
+        assert_eq!(log.dropped, 0);
+        // Per-track non-overlap: each interval starts at or after the
+        // previous one's end (chips and channels alike).
+        for track in log.chip.iter().chain(&log.channel) {
+            for w in track.windows(2) {
+                assert!(w[1].start_ns >= w[0].end_ns, "overlap: {w:?}");
+            }
+        }
+        // The channel track saw the program transfer and both read xfers.
+        assert_eq!(log.channel[0].len(), 3);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct FtlObs {
     pub gc_busy_ns: u128,
     /// Longest single GC round (victim migration + erase), ns.
     pub gc_max_pause_ns: u64,
+    /// Extra completion delay added by read-retry rounds (raw-bit-error
+    /// recovery), ns: final completion minus first-attempt completion,
+    /// summed over all faulting reads. Zero on the zero-fault path.
+    pub retry_busy_ns: u128,
 }
 
 /// Device-level health under fault injection. The FTL degrades (rather
@@ -748,6 +752,7 @@ impl Ftl {
         // the failed attempt, re-occupying the chip and bus timelines — this
         // is how fault injection degrades tail latency realistically.
         self.fstats.read_faults += 1;
+        let first_attempt = done;
         let mut done = done;
         let mut corrected = false;
         for _ in 0..self.faults.config().max_read_retries {
@@ -764,6 +769,7 @@ impl Ftl {
             // corrupt) and counts it.
             self.fstats.read_uncorrectable += 1;
         }
+        self.obs.retry_busy_ns += done.saturating_sub(first_attempt) as u128;
         done
     }
 
@@ -1143,6 +1149,14 @@ mod tests {
         // Every faulted read re-occupied the timeline: observable latency.
         assert_eq!(slow_reads, fs.read_faults);
         assert_eq!(tl.counters().user_reads, 32 + fs.read_retries);
+        // Retry delay is observable for attribution: at least one full
+        // read latency per faulted read, none on a fault-free run.
+        assert!(
+            ftl.obs().retry_busy_ns >= fs.read_faults as u128 * baseline as u128,
+            "retry_busy_ns {} below {} faults x {baseline} ns",
+            ftl.obs().retry_busy_ns,
+            fs.read_faults
+        );
     }
 
     #[test]

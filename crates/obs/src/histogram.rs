@@ -124,23 +124,34 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket containing the q-quantile
-    /// (0.0 < q <= 1.0). Bucketed, so accurate to a factor of two — enough
-    /// to distinguish "microseconds" from "a flush stall".
-    pub fn quantile_upper(&self, q: f64) -> u64 {
+    /// (`0.0 <= q <= 1.0`; out-of-range panics). Bucketed, so accurate to
+    /// a factor of two — enough to distinguish "microseconds" from "a
+    /// flush stall". Edge cases are exact instead of bucketed: `None` when
+    /// empty (no sentinel — an empty histogram has no quantiles), the
+    /// exact minimum at `q = 0.0`, the exact maximum at `q = 1.0`, and a
+    /// single-sample histogram returns that sample for every `q`.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.total == 0 {
-            return 0;
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
             if acc >= rank {
-                // Cap by the observed max: tighter than the bucket bound.
-                return self.bucket_upper(i).min(self.max);
+                // Clamp to the observed range: tighter than bucket bounds
+                // (and exact for a single sample, where min == max).
+                return Some(self.bucket_upper(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Merge another histogram into this one. Panics if the shapes (base
@@ -196,7 +207,28 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
-        assert_eq!(h.quantile_upper(0.99), 0);
+        assert_eq!(h.quantile_upper(0.99), None, "empty histogram has no quantiles");
+        assert_eq!(h.quantile_upper(0.0), None);
+        assert_eq!(h.quantile_upper(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::latency();
+        h.record(3_333);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_upper(q), Some(3_333), "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact_min_and_max() {
+        let mut h = Histogram::latency();
+        for v in [1_500u64, 7_000, 90_000, 2_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper(0.0), Some(1_500));
+        assert_eq!(h.quantile_upper(1.0), Some(2_000_000));
     }
 
     #[test]
@@ -220,12 +252,12 @@ mod tests {
             h.record(2_000);
         }
         h.record(50_000_000); // 50 ms
-        let p50 = h.quantile_upper(0.5);
+        let p50 = h.quantile_upper(0.5).unwrap();
         assert!(p50 <= 4_000, "p50 {p50}");
-        let p99 = h.quantile_upper(0.99);
+        let p99 = h.quantile_upper(0.99).unwrap();
         assert!(p99 <= 4_000, "p99 {p99}");
         let p100 = h.quantile_upper(1.0);
-        assert_eq!(p100, 50_000_000);
+        assert_eq!(p100, Some(50_000_000));
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   `sim/histogram.rs` latency histogram to runtime base/bucket counts).
 //! * [`telemetry`] — deterministic JSONL rendering of a [`MemoryRecorder`]
 //!   plus human-readable summary rows.
+//! * [`attr`] — per-request latency attribution: named response-time
+//!   [`Component`]s with per-component histograms, exact totals, and a
+//!   deterministic sampling policy (every-Kth + slowest-N) capturing full
+//!   [`attr::SpanRecord`]s.
+//! * [`trace_export`] — Chrome `trace_event` JSON rendering of sampled
+//!   spans and busy intervals (loads in Perfetto / `about:tracing`).
+//! * [`rotate`] — size-rotating JSONL sink with byte-deterministic
+//!   rotation points ([`RotatingSink`], file-backed [`TelemetryWriter`]).
 //!
 //! The crate is dependency-free (the `serde` dependency is the workspace's
 //! offline marker-trait stand-in) and knows nothing about caches, FTLs or
@@ -28,11 +36,17 @@
 //!
 //! [`Ssd::submit`]: https://docs.rs/reqblock-sim
 
+pub mod attr;
 pub mod histogram;
 pub mod recorder;
+pub mod rotate;
 pub mod series;
 pub mod telemetry;
+pub mod trace_export;
 
+pub use attr::{AttrAcc, AttrConfig, Component, SpanRecord};
 pub use histogram::Histogram;
 pub use recorder::{Fanout, MemoryRecorder, NoopRecorder, PageEvent, Recorder, SpanStats};
+pub use rotate::{RotatingSink, TelemetryWriter};
 pub use telemetry::{jsonl_escape, SCHEMA_VERSION};
+pub use trace_export::TraceBuilder;

@@ -29,3 +29,21 @@ pub const OUTSTANDING_READS: &str = "outstanding_reads";
 /// End-of-run gauge: the largest number of flash reads ever in flight at
 /// once (high-water mark of [`OUTSTANDING_READS`]).
 pub const HOST_MAX_READS_OUTSTANDING: &str = "host_max_reads_outstanding";
+
+/// Prefix of the per-component attribution rollup keys. Per
+/// [`crate::Component`] the engine emits counters
+/// `attr_<component>_ns` (total attributed nanoseconds) and
+/// `attr_<component>_reqs` (requests with a nonzero share), plus gauge
+/// `attr_<component>_max_ms` (largest single-request share). Emitted only
+/// on attribution-enabled runs (`SimConfig::with_attribution`), so plain
+/// telemetry bytes are unchanged.
+pub const ATTR_PREFIX: &str = "attr_";
+
+/// End-of-run counter: requests captured as full span records by the
+/// deterministic sampler (every-Kth union slowest-N, deduplicated).
+pub const ATTR_SAMPLED_SPANS: &str = "attr_sampled_spans";
+
+/// End-of-run gauge: p99 of the attributed response-time histogram, ms
+/// (the attribution layer's own view; matches the engine's
+/// `p99_response_ms` gauge by construction).
+pub const ATTR_P99_RESPONSE_MS: &str = "attr_p99_response_ms";

@@ -9,6 +9,7 @@ use reqblock_cache::policies::{
 use reqblock_cache::WriteBuffer;
 use reqblock_core::{ReqBlock, ReqBlockConfig};
 use reqblock_flash::{FaultConfig, SsdConfig};
+use reqblock_obs::AttrConfig;
 use serde::{Deserialize, Serialize};
 
 /// The paper's three data-cache sizes (§4.1: "the size of data cache varying
@@ -175,6 +176,14 @@ pub struct SimConfig {
     /// [`SubmitMode::Synchronous`], is the paper's one-at-a-time model and
     /// is byte-identical to the pre-host-layer simulator.
     pub submit: SubmitMode,
+    /// Per-request latency attribution (DESIGN.md §7.4). `None` (the
+    /// default) keeps the engine's plain path: no decomposition, no span
+    /// sampling, no new telemetry keys — recorded JSONL stays
+    /// byte-identical to earlier schema consumers. `Some` activates the
+    /// attribution accumulator on *recorded* runs only; with the no-op
+    /// recorder the enabled-flag guard monomorphizes the whole subsystem
+    /// away.
+    pub attr: Option<AttrConfig>,
 }
 
 impl SimConfig {
@@ -188,6 +197,7 @@ impl SimConfig {
             sampling: SampleInterval::Off,
             fault: FaultConfig::default(),
             submit: SubmitMode::Synchronous,
+            attr: None,
         }
     }
 
@@ -201,6 +211,7 @@ impl SimConfig {
             sampling: SampleInterval::Off,
             fault: FaultConfig::default(),
             submit: SubmitMode::Synchronous,
+            attr: None,
         }
     }
 
@@ -220,6 +231,14 @@ impl SimConfig {
     /// Same config with a different host submit mode (builder-style).
     pub fn with_submit(mut self, submit: SubmitMode) -> Self {
         self.submit = submit;
+        self
+    }
+
+    /// Same config with per-request latency attribution enabled
+    /// (builder-style). Only recorded runs attribute; see
+    /// [`SimConfig::attr`].
+    pub fn with_attribution(mut self, attr: AttrConfig) -> Self {
+        self.attr = Some(attr);
         self
     }
 }

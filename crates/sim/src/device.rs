@@ -14,7 +14,7 @@
 use crate::buffer::PolicyBuffer;
 use crate::config::SimConfig;
 use reqblock_cache::{Access, EvictionBatch, Placement as CachePlacement, WriteBuffer};
-use reqblock_flash::{BusyStats, FaultStats, FlashTimeline, OpCounters};
+use reqblock_flash::{BusyStats, FaultStats, FlashTimeline, IntervalLog, OpCounters};
 use reqblock_ftl::{Ftl, FtlObs, FtlStats, Health, Placement as FtlPlacement};
 use reqblock_trace::Lpn;
 
@@ -199,6 +199,19 @@ impl Device {
     /// Earliest time `chip` can start an array operation (diagnostics).
     pub fn chip_free_at(&self, chip: usize) -> u64 {
         self.timeline.chip_free_at(chip)
+    }
+
+    /// Start capturing per-chip / per-channel busy intervals (trace
+    /// export). Idempotent; the plain path never pays for this — the
+    /// engine enables it lazily on attribution-recorded runs only.
+    pub fn enable_busy_intervals(&mut self) {
+        self.timeline.enable_interval_capture();
+    }
+
+    /// Captured busy intervals, when [`Device::enable_busy_intervals`] was
+    /// called.
+    pub fn busy_intervals(&self) -> Option<&IntervalLog> {
+        self.timeline.intervals()
     }
 }
 

@@ -16,7 +16,8 @@ use crate::event::ChipCursors;
 use crate::host::{FlushWindow, SubmitMode};
 use crate::metrics::Metrics;
 use reqblock_cache::{Access, EvictionBatch};
-use reqblock_obs::{series, PageEvent, Recorder};
+use reqblock_obs::attr::COMPONENTS;
+use reqblock_obs::{series, AttrAcc, Component, PageEvent, Recorder};
 use reqblock_trace::{OpType, Request};
 
 /// Per-run orchestration state between the host interface and the device.
@@ -48,6 +49,15 @@ pub struct Engine {
     /// non-zero flush window) so the uninstrumented hot path and the
     /// synchronous telemetry contract are untouched.
     read_cursors: ChipCursors,
+    /// Per-request latency attribution accumulator; allocated only when
+    /// [`SimConfig::attr`] is set, consulted only while the recorder is
+    /// live (`rec.enabled()`), so both the no-op hot path and plain
+    /// recorded runs are untouched.
+    attr: Option<Box<AttrAcc>>,
+    /// Whether the device's busy-interval capture has been switched on
+    /// (lazily, at the first attributed request — a `NoopRecorder` run
+    /// with attribution configured never enables it).
+    intervals_on: bool,
 }
 
 impl Engine {
@@ -66,6 +76,8 @@ impl Engine {
             // degenerate policies produce a handful of batches per request.
             evict_scratch: Vec::with_capacity(4),
             read_cursors: ChipCursors::new(cfg.ssd.total_chips()),
+            attr: cfg.attr.map(|a| Box::new(AttrAcc::new(a))),
+            intervals_on: false,
             cfg,
         }
     }
@@ -85,11 +97,19 @@ impl Engine {
         &self.cfg
     }
 
+    /// The attribution accumulator, when [`SimConfig::attr`] is set and at
+    /// least one recorded request ran through it.
+    pub fn attribution(&self) -> Option<&AttrAcc> {
+        self.attr.as_deref()
+    }
+
     /// Settle one eviction batch: account it, time it on the device, and
     /// decide — via the host's flush window — how much of the flush the
     /// triggering request actually waits for. Returns the completion time
-    /// visible to the request; the stall past `at` is attributed to the
-    /// dedicated flush-wait span so buffer-induced stalls stay
+    /// visible to the request plus — when `attr_on` — the GC busy time the
+    /// flush provoked (for the caller's flush-stall vs GC-interference
+    /// split; always 0 otherwise). The stall past `at` is attributed to
+    /// the dedicated flush-wait span so buffer-induced stalls stay
     /// distinguishable from the device service time of the request's own
     /// pages.
     fn settle_flush<R: Recorder + ?Sized>(
@@ -97,17 +117,21 @@ impl Engine {
         batch: &EvictionBatch,
         at: u64,
         on: bool,
+        attr_on: bool,
         rec: &mut R,
         window: &mut FlushWindow,
-    ) -> u64 {
+    ) -> (u64, u64) {
         if !batch.dirty {
             self.metrics.clean_dropped_pages += batch.lpns.len() as u64;
-            return at;
+            return (at, 0);
         }
         self.metrics.evictions += 1;
         self.metrics.evicted_pages += batch.lpns.len() as u64;
         self.metrics.pad_read_pages += batch.pad_reads.len() as u64;
+        let gc_before = if attr_on { self.device.ftl_obs().gc_busy_ns } else { 0 };
         let completion = self.device.flush(batch, at);
+        let gc_ns =
+            if attr_on { saturate_u64(self.device.ftl_obs().gc_busy_ns - gc_before) } else { 0 };
         let visible = if window.capacity() == 0 {
             // Synchronous: the request waits for its own victim flush — the
             // buffered data cannot be overwritten before it is safe on
@@ -127,7 +151,7 @@ impl Engine {
                 rec.span("flush_wait", stall);
             }
         }
-        visible
+        (visible, gc_ns)
     }
 
     /// Submit one request, streaming page events, flush-wait spans and
@@ -152,6 +176,24 @@ impl Engine {
         self.req_counter += 1;
         self.metrics.requests += 1;
         self.last_arrival_ns = self.last_arrival_ns.max(at);
+        // Attribution is double-gated: the accumulator must be configured
+        // AND the recorder live. With `NoopRecorder`, `on` is a constant
+        // false and the whole decomposition (including the parts array
+        // below) monomorphizes away; with a live recorder but no
+        // `SimConfig::attr`, every attribution branch is one dead bool
+        // test and the recorded telemetry stays byte-identical.
+        let attr_on = on && self.attr.is_some();
+        if attr_on && !self.intervals_on {
+            // First attributed request: start the trace-export interval
+            // capture. Lazy so a no-op-recorder run with attribution
+            // configured (the bench overhead gate) never allocates it.
+            self.intervals_on = true;
+            self.device.enable_busy_intervals();
+        }
+        // Per-component shares of this request's response; every advance
+        // of `done` below is charged to exactly one component, so the
+        // parts sum to the response by construction.
+        let mut parts = [0u64; COMPONENTS];
         // Background flushes that retired before this arrival free their
         // window slots (no-op with a zero-capacity synchronous window).
         window.retire_until(at);
@@ -195,10 +237,35 @@ impl Engine {
                     // space"), and striped placement bounds it to about one
                     // program latency, while BPLRU's single-block flushes
                     // serialize.
-                    done = done.max(at + self.device.dram_access_ns());
+                    if attr_on {
+                        attribute_advance(
+                            &mut done,
+                            at + self.device.dram_access_ns(),
+                            &mut parts,
+                            &[],
+                            Component::CacheService,
+                        );
+                    } else {
+                        done = done.max(at + self.device.dram_access_ns());
+                    }
                     if !evictions.is_empty() {
                         for batch in evictions.drain(..) {
-                            done = done.max(self.settle_flush(&batch, at, on, rec, window));
+                            let (visible, gc_ns) =
+                                self.settle_flush(&batch, at, on, attr_on, rec, window);
+                            if attr_on {
+                                // Of the wait this flush added, the part the
+                                // device provably spent garbage-collecting is
+                                // GC interference; the rest is flush stall.
+                                attribute_advance(
+                                    &mut done,
+                                    visible,
+                                    &mut parts,
+                                    &[(Component::GcInterference, gc_ns)],
+                                    Component::FlushStall,
+                                );
+                            } else {
+                                done = done.max(visible);
+                            }
                             self.device.recycle(batch);
                         }
                     }
@@ -216,10 +283,48 @@ impl Engine {
                     self.metrics.read_pages += 1;
                     if hit {
                         self.metrics.read_hits += 1;
-                        done = done.max(at + self.device.dram_access_ns());
+                        if attr_on {
+                            attribute_advance(
+                                &mut done,
+                                at + self.device.dram_access_ns(),
+                                &mut parts,
+                                &[],
+                                Component::CacheService,
+                            );
+                        } else {
+                            done = done.max(at + self.device.dram_access_ns());
+                        }
                     } else {
+                        // Snapshot the device's cumulative retry/GC/queue
+                        // accounting around the read so the miss's advance
+                        // can be split by cause (clamped in that order;
+                        // the remainder is pure read service).
+                        let (retry0, gc0, wait0) = if attr_on {
+                            let o = self.device.ftl_obs();
+                            (o.retry_busy_ns, o.gc_busy_ns, self.device.busy().wait_ns)
+                        } else {
+                            (0, 0, 0)
+                        };
                         let c = self.device.flash_read(lpn, at);
-                        done = done.max(c.ready_ns);
+                        if attr_on {
+                            let o = self.device.ftl_obs();
+                            let retry_ns = saturate_u64(o.retry_busy_ns - retry0);
+                            let gc_ns = saturate_u64(o.gc_busy_ns - gc0);
+                            let wait_ns = saturate_u64(self.device.busy().wait_ns - wait0);
+                            attribute_advance(
+                                &mut done,
+                                c.ready_ns,
+                                &mut parts,
+                                &[
+                                    (Component::ReadRetry, retry_ns),
+                                    (Component::GcInterference, gc_ns),
+                                    (Component::ReadQueueWait, wait_ns),
+                                ],
+                                Component::ReadService,
+                            );
+                        } else {
+                            done = done.max(c.ready_ns);
+                        }
                         if track_ncq {
                             // Ledger the read on the chip that served it;
                             // per-chip completion times are monotone (the
@@ -244,7 +349,19 @@ impl Engine {
                     // same stall rules as the write path.
                     if !evictions.is_empty() {
                         for batch in evictions.drain(..) {
-                            done = done.max(self.settle_flush(&batch, at, on, rec, window));
+                            let (visible, gc_ns) =
+                                self.settle_flush(&batch, at, on, attr_on, rec, window);
+                            if attr_on {
+                                attribute_advance(
+                                    &mut done,
+                                    visible,
+                                    &mut parts,
+                                    &[(Component::GcInterference, gc_ns)],
+                                    Component::FlushStall,
+                                );
+                            } else {
+                                done = done.max(visible);
+                            }
                             self.device.recycle(batch);
                         }
                     }
@@ -261,6 +378,11 @@ impl Engine {
             self.metrics.node_count_sum += self.device.cache().node_count() as u128;
         }
         if on {
+            if attr_on {
+                if let Some(acc) = self.attr.as_deref_mut() {
+                    acc.observe(req_id, at, response, parts);
+                }
+            }
             rec.request_end(req_id);
             self.maybe_sample(req_id, at, rec, window);
         }
@@ -429,6 +551,29 @@ impl Engine {
                 self.read_cursors.max_outstanding() as f64,
             );
         }
+
+        // Attribution rollup: emitted only when [`SimConfig::attr`] is
+        // configured, so plain recorded telemetry stays byte-identical to
+        // pre-attribution runs. All components are emitted (even all-zero
+        // ones) so the key set is stable across policies and loads.
+        if let Some(acc) = self.attr.as_deref() {
+            for comp in Component::ALL {
+                let h = acc.component_hist(comp);
+                let name = comp.name();
+                rec.counter(
+                    &format!("{}{name}_ns", series::ATTR_PREFIX),
+                    saturate_u64(acc.total_ns(comp)),
+                );
+                rec.counter(&format!("{}{name}_reqs", series::ATTR_PREFIX), h.count());
+                rec.gauge(&format!("{}{name}_max_ms", series::ATTR_PREFIX), h.max() as f64 / 1e6);
+            }
+            rec.counter(series::ATTR_SAMPLED_SPANS, acc.sampled_spans().len() as u64);
+            rec.counter("attr_dropped_samples", acc.dropped_samples());
+            rec.gauge(
+                series::ATTR_P99_RESPONSE_MS,
+                acc.response_hist().quantile_upper(0.99).unwrap_or(0) as f64 / 1e6,
+            );
+        }
     }
 
     /// Flush everything still buffered (end-of-trace). The flush traffic is
@@ -450,4 +595,28 @@ impl Engine {
 /// Clamp a u128 nanosecond total into the u64 counter domain.
 fn saturate_u64(v: u128) -> u64 {
     u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Advance `done` to at least `to`, attributing the advance delta across
+/// `splits` in order (each clamped to what remains) with the remainder
+/// charged to `rest`. Because every nanosecond of advance lands in exactly
+/// one component, a request's parts sum exactly to its response time —
+/// the invariant the workspace attribution proptest pins.
+#[inline]
+fn attribute_advance(
+    done: &mut u64,
+    to: u64,
+    parts: &mut [u64; COMPONENTS],
+    splits: &[(Component, u64)],
+    rest: Component,
+) {
+    let before = *done;
+    *done = before.max(to);
+    let mut delta = *done - before;
+    for &(c, cap) in splits {
+        let take = delta.min(cap);
+        parts[c.index()] += take;
+        delta -= take;
+    }
+    parts[rest.index()] += delta;
 }

@@ -215,6 +215,13 @@ impl Ssd {
         &self.window
     }
 
+    /// Per-request latency attribution, when [`SimConfig::attr`] is set
+    /// (see [`Engine::attribution`]). Captured busy intervals for trace
+    /// export are reachable through [`Ssd::device`].
+    pub fn attribution(&self) -> Option<&reqblock_obs::AttrAcc> {
+        self.engine.attribution()
+    }
+
     /// Nanoseconds the given chip's busy horizon extends past `now`
     /// (diagnostics; 0 when the chip is idle at `now`).
     pub fn chip_lag_ns(&self, chip: usize, now: u64) -> i64 {
@@ -488,6 +495,72 @@ mod tests {
         }
         let final_util = rec.gauge_value("chan_util").unwrap();
         assert!((0.0..=1.0).contains(&final_util), "final chan_util {final_util}");
+    }
+
+    #[test]
+    fn attribution_parts_sum_to_response_and_emit_rollup() {
+        use reqblock_obs::{AttrConfig, Component};
+        let cfg = SimConfig::tiny(4, PolicyKind::Lru)
+            .with_attribution(AttrConfig { sample_every: 1, slowest: 4, seed: 7 });
+        let mut ssd = Ssd::new(cfg);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..24u64 {
+            ssd.submit_recorded(&Request::write_pages(i * 10, i % 12, 1), &mut rec);
+        }
+        for i in 0..8u64 {
+            ssd.submit_recorded(&Request::read_pages(10_000 + i * 10, i, 1), &mut rec);
+        }
+        ssd.finish_recording(&mut rec);
+        let acc = ssd.attribution().expect("attr configured");
+        assert_eq!(acc.requests(), 32);
+        // Exact decomposition: per-component totals sum to the metrics'
+        // summed response time, and every sampled span sums to its own
+        // response.
+        let total: u128 = Component::ALL.iter().map(|&c| acc.total_ns(c)).sum();
+        assert_eq!(total, ssd.metrics().total_response_ns);
+        for span in acc.sampled_spans() {
+            assert_eq!(span.parts_sum(), span.response_ns, "req {}", span.req_id);
+        }
+        // Eviction stalls and flash misses both occurred, so both causes
+        // show up in the decomposition.
+        assert!(acc.total_ns(Component::FlushStall) > 0);
+        assert!(acc.total_ns(Component::ReadService) > 0);
+        // Rollup keys are present, with stable spelling.
+        assert_eq!(
+            rec.counter_value("attr_flush_stall_ns"),
+            u64::try_from(acc.total_ns(Component::FlushStall)).unwrap()
+        );
+        assert_eq!(rec.counter_value("attr_sampled_spans"), acc.sampled_spans().len() as u64);
+        assert!(rec.gauge_value("attr_p99_response_ms").is_some());
+        // Busy intervals were captured lazily for trace export.
+        assert!(ssd.device().busy_intervals().is_some());
+    }
+
+    #[test]
+    fn attribution_keys_absent_without_config_or_recorder() {
+        use reqblock_obs::AttrConfig;
+        // Live recorder, no attr config: no attr_* keys, no intervals.
+        let mut plain = tiny(PolicyKind::Lru, 4);
+        let mut rec = MemoryRecorder::default();
+        for i in 0..16u64 {
+            plain.submit_recorded(&Request::write_pages(i * 10, i % 8, 1), &mut rec);
+        }
+        plain.finish_recording(&mut rec);
+        assert_eq!(rec.counter_value("attr_cache_service_ns"), 0);
+        assert!(rec.gauge_value("attr_p99_response_ms").is_none());
+        assert!(plain.attribution().is_none());
+        assert!(plain.device().busy_intervals().is_none());
+        // Attr config but no-op recorder: the accumulator stays untouched
+        // and interval capture is never switched on (the bench overhead
+        // mode), while metrics match a plain run exactly.
+        let cfg = SimConfig::tiny(4, PolicyKind::Lru).with_attribution(AttrConfig::default());
+        let mut noop = Ssd::new(cfg);
+        for i in 0..16u64 {
+            noop.submit(&Request::write_pages(i * 10, i % 8, 1));
+        }
+        assert_eq!(noop.attribution().expect("allocated but idle").requests(), 0);
+        assert!(noop.device().busy_intervals().is_none());
+        assert_eq!(noop.metrics(), plain.metrics());
     }
 
     #[test]

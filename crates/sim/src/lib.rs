@@ -69,7 +69,9 @@ pub use load::ArrivalProcess;
 pub use reqblock_flash::{DegradedMode, FaultConfig, FaultStats};
 pub use reqblock_ftl::Health;
 pub use metrics::Metrics;
+pub use reqblock_flash::{IntervalLog, OpInterval, OpKind};
 pub use reqblock_obs::Histogram as LatencyHistogram;
+pub use reqblock_obs::{AttrAcc, AttrConfig, Component, SpanRecord};
 pub use runner::{
     run_jobs, run_source, run_source_recorded, run_task_pool, run_trace, run_trace_drained,
     run_trace_recorded, Job, RunResult, Task, TraceSource,

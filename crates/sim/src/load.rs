@@ -94,7 +94,7 @@ impl ArrivalProcess {
                 // time back, preserving the long-run offered rate.
                 let off_mean = burst_len as f64 * (mean - on_mean);
                 for (i, r) in trace.iter().enumerate() {
-                    if off_mean > 0.0 && i as u64 % burst_len == 0 && i > 0 {
+                    if off_mean > 0.0 && (i as u64).is_multiple_of(burst_len) && i > 0 {
                         now += exp_gap(&mut rng, off_mean);
                     }
                     now += exp_gap(&mut rng, on_mean);

@@ -109,9 +109,10 @@ impl Metrics {
         self.node_count_sum as f64 / self.overhead_samples as f64
     }
 
-    /// Response-time percentile in milliseconds (bucketed upper bound).
+    /// Response-time percentile in milliseconds (bucketed upper bound;
+    /// 0.0 for an empty run).
     pub fn response_percentile_ms(&self, q: f64) -> f64 {
-        self.response_hist.quantile_upper(q) as f64 / 1e6
+        self.response_hist.quantile_upper(q).unwrap_or(0) as f64 / 1e6
     }
 
     /// Mean flush-induced stall per request in milliseconds. Together with

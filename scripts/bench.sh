@@ -20,6 +20,12 @@
 #           conditions) and the best attempt's ratio is gated, so a slow
 #           attempt cannot fail the gate on noise alone. The committed
 #           `engine` baselines are reported alongside for context.
+#   gate 5 (tolerance 2%):  attribution configured under the no-op
+#           recorder (attr_noop) vs the plain no-op path of the SAME
+#           attempt — the engine's double gate must monomorphize the whole
+#           attribution layer away when the recorder is disabled. Like the
+#           queued gate, the within-attempt ratio is gated and the best
+#           attempt wins, so no committed baseline is needed.
 #
 # Sweep gate (tolerance 5%): the `repro all` pool, cached + parallel, must
 #   not get slower than the committed median wall-clock. Like the 2% gate,
@@ -32,7 +38,8 @@
 #                         [--sweep-scale S] [--sweep-repeats N]
 #                         [--sweep-attempts N] [--no-sweep]
 #        NOOP_TOLERANCE=0.02 REGRESSION_TOLERANCE=0.20 SYNC_TOLERANCE=0.05 \
-#            QUEUED_TOLERANCE=0.15 SWEEP_TOLERANCE=0.05 scripts/bench.sh
+#            QUEUED_TOLERANCE=0.15 ATTR_TOLERANCE=0.02 SWEEP_TOLERANCE=0.05 \
+#            scripts/bench.sh
 #
 # Numbers are wall-clock on whatever machine runs this; the committed
 # baselines were taken on a single-vCPU container.
@@ -84,10 +91,14 @@ import sys
 # 5% is the acceptance bar from the host/engine/device layering PR.
 # Gate 4: queued qd8 vs the synchronous path of the same run; 15% is the
 # acceptance bar from the timer-wheel event-core PR.
+# Gate 5: attribution configured under a disabled recorder vs the plain
+# no-op path of the same attempt; 2% is the acceptance bar from the tail-
+# forensics PR (the double gate must compile the layer away entirely).
 REGRESSION_TOL = float(os.environ.get("REGRESSION_TOLERANCE", "0.20"))
 NOOP_TOL = float(os.environ.get("NOOP_TOLERANCE", "0.02"))
 SYNC_TOL = float(os.environ.get("SYNC_TOLERANCE", "0.05"))
 QUEUED_TOL = float(os.environ.get("QUEUED_TOLERANCE", "0.15"))
+ATTR_TOL = float(os.environ.get("ATTR_TOLERANCE", "0.02"))
 
 # Best *median* req/s per policy across all attempts: the median absorbs a
 # noisy repeat inside one attempt, the max across attempts absorbs a noisy
@@ -97,6 +108,8 @@ QUEUED_TOL = float(os.environ.get("QUEUED_TOLERANCE", "0.15"))
 current = {}
 queued = {}
 queued_ratio = {}
+attr = {}
+attr_ratio = {}
 overhead = {}
 for path in sys.argv[1:]:
     with open(path) as f:
@@ -114,6 +127,12 @@ for path in sys.argv[1:]:
             queued_ratio[p["name"]] = max(
                 queued_ratio.get(p["name"], 0.0), ratio
             )
+    for p in run.get("attr_noop_policies", []):
+        med = p.get("median_requests_per_sec", p["requests_per_sec"])
+        attr[p["name"]] = max(attr.get(p["name"], 0.0), med)
+        if p["name"] in sync_this:
+            ratio = med / sync_this[p["name"]]
+            attr_ratio[p["name"]] = max(attr_ratio.get(p["name"], 0.0), ratio)
     for o in run.get("recording_overhead_pct", []):
         overhead.setdefault(o["name"], []).append(o["pct"])
 
@@ -183,6 +202,21 @@ for name, base in sorted(queued_base.items()):
         verdict = "ok"
     print(f"{name}: queued qd8 median {now:,.0f} req/s, best queued/sync "
           f"{ratio:.2f}x {verdict} (committed engine baseline {base:,.0f})")
+print("-- attribution gate (tail forensics, attr-noop vs same-run noop) --")
+for name in sorted(current):
+    now = attr.get(name)
+    ratio = attr_ratio.get(name)
+    if now is None or ratio is None:
+        print(f"FAIL {name}: attr_noop missing from bench output")
+        failed = True
+        continue
+    if ratio < 1.0 - ATTR_TOL:
+        verdict = f"FAIL (disabled attribution costs >{ATTR_TOL:.0%})"
+        failed = True
+    else:
+        verdict = "ok"
+    print(f"{name}: attr-noop median {now:,.0f} req/s, best attr/noop "
+          f"{ratio:.2f}x {verdict}")
 
 sys.exit(1 if failed else 0)
 PY

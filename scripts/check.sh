@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: release build, every test, clippy with warnings
+# Full pre-merge gate: release build, every test (including the Perfetto
+# trace-JSON smoke test, tests/trace_smoke.rs), clippy with warnings
 # denied, and the benchmark gates from scripts/bench.sh — the hot-path
-# median gates (including the <2% no-op recorder overhead check) plus the
-# small-scale sweep gate (`repro all` pool median wall-clock, >5% median
-# regression fails).
+# median gates (the <2% no-op recorder overhead check and the <2%
+# attribution-compiled-out check) plus the small-scale sweep gate
+# (`repro all` pool median wall-clock, >5% median regression fails).
 #
 # Usage: scripts/check.sh [--no-bench]
 #

@@ -40,6 +40,7 @@ fn pressured_cfg(fault: FaultConfig) -> (SimConfig, TraceSource) {
         sampling: SampleInterval::Requests(2_000),
         fault,
         submit: reqblock::sim::SubmitMode::Synchronous,
+        attr: None,
     };
     (cfg, TraceSource::Synthetic(ts_0().scaled(0.01)))
 }

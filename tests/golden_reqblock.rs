@@ -131,6 +131,7 @@ fn reqblock_golden_pressured_device_with_gc() {
         sampling: reqblock::sim::SampleInterval::Off,
         fault: reqblock::flash::FaultConfig::default(),
         submit: reqblock::sim::SubmitMode::Synchronous,
+        attr: None,
     };
     let source = TraceSource::Synthetic(ts_0().scaled(0.01));
     let got = run_twice(&cfg, &source);
