@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
-//!       [--depths D1,D2,...] [--rates R1,R2,...] <command>
+//!       [--depths D1,D2,...] [--rates R1,R2,...] [--devices N1,N2,...] <command>
 //!
 //! commands:
 //!   table1      Table 1  (SSD configuration)
@@ -29,6 +29,12 @@
 //!   why         tail forensics: per-component latency attribution across
 //!               policy x depth x offered load, plus Perfetto-loadable
 //!               trace JSON and size-rotated telemetry shards per point
+//!   fleet       extension: X8 fleet-scale multi-tenant QoS — N independent
+//!               devices under a blended three-tenant mix, per-tenant and
+//!               fleet-wide p50/p99/p999 plus a noisy-neighbor delta per
+//!               placement x device-count point, with per-device telemetry
+//!               shards (default fleets 4 and 16 devices;
+//!               `--devices 4,16,...` picks the grid)
 //!   telemetry   instrumented example run: JSONL time series + summary
 //!               (optionally `telemetry <trace>`; default ts_0)
 //!   export      export a synthetic trace as MSR CSV: export <trace> <path>
@@ -51,14 +57,15 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--full] [--threads N] [--out DIR] [--trace-dir DIR] \
-         [--depths D1,D2,...] [--rates R1,R2,...] \
+         [--depths D1,D2,...] [--rates R1,R2,...] [--devices N1,N2,...] \
          <table1|table2|fig2|fig3|fig7|comparison|fig8|fig9|fig10|fig11|fig12|fig13|\
-          tails|wear|ablations|faults|qdepth|load|why|telemetry|export|all>\n\
+          tails|wear|ablations|faults|qdepth|load|why|fleet|telemetry|export|all>\n\
          --threads defaults to the host's available parallelism; \
          --threads 1 is the explicit serial mode (identical output)\n\
          --depths picks the qdepth sweep's queue-depth grid (default 1,2,4,8,16,32)\n\
          --rates picks the load sweep's offered-rate multipliers \
-         (default 0.25,0.5,1,2,4,8)"
+         (default 0.25,0.5,1,2,4,8)\n\
+         --devices picks the fleet sweep's device counts (default 4,16)"
     );
     std::process::exit(2);
 }
@@ -72,6 +79,9 @@ struct CliExtras {
     /// Offered-rate multipliers for `load` (`--rates`); `None` = the
     /// default [`extensions::LOAD_SWEEP`].
     rates: Option<Vec<f64>>,
+    /// Device counts for `fleet` (`--devices`); `None` = the default
+    /// [`extensions::FLEET_DEVICES`].
+    devices: Option<Vec<usize>>,
 }
 
 fn parse_args() -> (Opts, CliExtras, String) {
@@ -102,6 +112,17 @@ fn parse_args() -> (Opts, CliExtras, String) {
                     usage();
                 }
                 extras.rates = Some(rates);
+            }
+            "--devices" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let devices: Vec<usize> = v
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if devices.is_empty() || devices.contains(&0) {
+                    usage();
+                }
+                extras.devices = Some(devices);
             }
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -237,6 +258,41 @@ fn run_why(opts: &Opts) {
     emit(opts, "why", &[report.table]);
 }
 
+/// `repro fleet`: the X8 noisy-neighbor table plus per-device telemetry
+/// shards from the headline grid point and an informational fleet-
+/// throughput line (parsed by scripts/bench.sh).
+fn run_fleet(opts: &Opts, devices: &[usize]) {
+    let t0 = Instant::now();
+    eprintln!(
+        "running fleet grid (2 placements x {} device counts, 3 tenants, scale {}) ...",
+        devices.len(),
+        opts.scale
+    );
+    let report = extensions::fleet_with_devices(opts, devices);
+    eprintln!("grid done in {:.1?}", t0.elapsed());
+    let mut writer =
+        reqblock_obs::TelemetryWriter::new(&opts.out_dir, "fleet_telemetry", 64 * 1024);
+    for doc in &report.telemetry {
+        writer.push_document(doc);
+    }
+    match writer.finish() {
+        Ok(paths) => {
+            for p in &paths {
+                println!("[saved {}]", p.display());
+            }
+            println!("[{} telemetry shard(s), rotated at 64 KiB]\n", paths.len());
+        }
+        Err(e) => eprintln!("warning: could not write telemetry shards: {e}"),
+    }
+    println!(
+        "[fleet throughput: {} devices in {:.2}s - {:.1} devices/s]\n",
+        report.devices_simulated,
+        report.elapsed_s,
+        report.devices_simulated as f64 / report.elapsed_s.max(1e-9)
+    );
+    emit(opts, "fleet", &[report.table]);
+}
+
 fn main() -> ExitCode {
     let (opts, extras, cmd) = parse_args();
     let t0 = Instant::now();
@@ -275,6 +331,10 @@ fn main() -> ExitCode {
             emit(&opts, "load", &[extensions::load_sweep_rates(&opts, rates)]);
         }
         "why" => run_why(&opts),
+        "fleet" => {
+            let devices = extras.devices.as_deref().unwrap_or(&extensions::FLEET_DEVICES);
+            run_fleet(&opts, devices);
+        }
         cmd if cmd == "telemetry" || cmd.starts_with("telemetry ") => {
             let trace = cmd.strip_prefix("telemetry").unwrap().trim();
             let trace = if trace.is_empty() { "ts_0" } else { trace };

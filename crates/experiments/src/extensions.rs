@@ -9,6 +9,9 @@
 //! * [`fault_sweep`] — reliability: the same run replayed under rising
 //!   seeded fault rates (read/program/erase), reporting retries, retired
 //!   bad blocks, remapped pages and the device health outcome.
+//! * [`fleet`] — X8: a multi-device fleet under a blended three-tenant
+//!   mix, per-tenant p50/p99/p999 and a noisy-neighbor delta per
+//!   placement x device-count grid point (see `reqblock_sim::fleet`).
 
 use crate::figures::{run_pool, Opts};
 use crate::report::{f2, f3, pct, Table};
@@ -18,8 +21,9 @@ use reqblock_obs::telemetry::to_jsonl;
 use reqblock_obs::{MemoryRecorder, TraceBuilder};
 use reqblock_sim::{
     run_task_pool, ArrivalProcess, AttrAcc, AttrConfig, CacheSizeMb, Component, FaultConfig,
-    IntervalLog, Job, Metrics, PolicyKind, RunResult, SampleInterval, SimConfig, Ssd, SubmitMode,
-    Task, TraceSource,
+    FleetConfig, FleetControl, IntervalLog, Job, Metrics, NoisyNeighbor, Placement, PolicyKind,
+    RunResult, SampleInterval, SimConfig, Ssd, SubmitMode, Task, TenantMix, TenantSpec,
+    TraceSource,
 };
 
 /// Percentile columns reported by [`tails`].
@@ -680,6 +684,241 @@ pub fn why(opts: &Opts) -> WhyReport {
     WhyReport { table, traces, telemetry }
 }
 
+/// Device counts swept by [`fleet`] (X8); `repro fleet --devices N1,N2,...`
+/// overrides them.
+pub const FLEET_DEVICES: [usize; 2] = [4, 16];
+
+/// The two placement maps the X8 grid contrasts: full striping (every
+/// tenant touches every device) vs packing into two-device groups (tenants
+/// collide only when the groups wrap — with three tenants that pits the
+/// antagonist against the first victim on a 4-device fleet and isolates
+/// everyone on 16).
+pub fn fleet_placements() -> [Placement; 2] {
+    [Placement::Striped, Placement::Packed { devices_per_tenant: 2 }]
+}
+
+/// Index of the antagonist tenant in [`fleet_mix`]: the write-heavy
+/// bursty `batch` tenant whose flush bursts interfere with the victims'
+/// read tails.
+pub const FLEET_ANTAGONIST: usize = 2;
+
+/// Per-tenant offered-rate multipliers, as fractions of the *fleet's*
+/// aggregate calibrated service rate (`devices / service_gap`): two
+/// read-leaning victims at 0.2x each plus the bursty antagonist at 0.4x.
+/// Total offered load is 0.8x of fleet capacity at every grid point, so
+/// tables are comparable across device counts — per-device load stays
+/// constant as the fleet grows.
+pub const FLEET_TENANT_LOADS: [f64; 3] = [0.2, 0.2, 0.4];
+
+/// Burst shape of the antagonist's arrivals: bursts of 64 requests at 8x
+/// the long-run rate (same shape as [`LOAD_BURST`]).
+pub const FLEET_BURST: (u32, u32) = (64, 8);
+
+/// The X8 tenant mix for a fleet of `devices` drives: `web` (hm_1-like,
+/// read-heavy victim), `usr` (usr_0-like victim), and `batch` (proj_0-like
+/// write-heavy antagonist, bursty arrivals). Arrival rates are the
+/// [`FLEET_TENANT_LOADS`] fractions of the fleet's aggregate service rate,
+/// so the mix depends on the device count but every tenant's seed is
+/// fixed — the same tenant replays byte-identical request mixes at every
+/// grid point with the same device count.
+pub fn fleet_mix(opts: &Opts, service_gap_ns: u64, devices: usize) -> TenantMix {
+    let rate = |mult: f64| {
+        ((service_gap_ns as f64 / (mult * devices as f64)) as u64).max(1)
+    };
+    let (burst_len, peak_to_mean) = FLEET_BURST;
+    TenantMix::new(vec![
+        TenantSpec {
+            name: "web".into(),
+            profile: reqblock_trace::profiles::hm_1().scaled(opts.scale),
+            process: ArrivalProcess::Poisson {
+                mean_interarrival_ns: rate(FLEET_TENANT_LOADS[0]),
+            },
+            seed: 0xF1EE_7E01,
+        },
+        TenantSpec {
+            name: "usr".into(),
+            profile: reqblock_trace::profiles::usr_0().scaled(opts.scale),
+            process: ArrivalProcess::Poisson {
+                mean_interarrival_ns: rate(FLEET_TENANT_LOADS[1]),
+            },
+            seed: 0xF1EE_7E02,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            profile: reqblock_trace::profiles::proj_0().scaled(opts.scale),
+            process: ArrivalProcess::Bursty {
+                mean_interarrival_ns: rate(FLEET_TENANT_LOADS[2]),
+                burst_len,
+                peak_to_mean,
+            },
+            seed: 0xF1EE_7E03,
+        },
+    ])
+}
+
+/// One analysed X8 grid point: the with/without-antagonist run pair.
+pub struct FleetPoint {
+    /// Placement map of this point.
+    pub placement: Placement,
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// The noisy-neighbor run pair (loaded + solo aggregates).
+    pub nn: NoisyNeighbor,
+    /// Offered rate per tenant (requests/s), mix order.
+    pub offered_per_s: Vec<f64>,
+    /// Per-device telemetry JSONL documents (headline point only).
+    pub telemetry: Vec<String>,
+}
+
+/// Everything `repro fleet` produces.
+pub struct FleetReport {
+    /// The X8 table: per-tenant and fleet-wide rows per grid point.
+    pub table: Table,
+    /// Per-device telemetry documents from the headline grid point, for
+    /// the rotating shard writer.
+    pub telemetry: Vec<String>,
+    /// Devices simulated across the whole grid (both runs of every pair).
+    pub devices_simulated: usize,
+    /// Host wall-clock seconds for the whole grid (throughput reporting).
+    pub elapsed_s: f64,
+}
+
+/// Run the X8 grid: [`fleet_placements`] x `devices_list`, each point a
+/// noisy-neighbor pair over [`fleet_mix`] on uniform paper devices
+/// (Req-block, 32 MB, queue depth 8 — eviction flushes retire in the
+/// background like the X6/X7 runs, which is what lets one tenant's flush
+/// bursts queue behind another tenant's reads).
+///
+/// Calibration follows the X6 pattern: one serial plan-time probe replays
+/// the ts_0 mix back-to-back to find the device's service gap; tenant
+/// rates are [`FLEET_TENANT_LOADS`] fractions of the fleet's aggregate
+/// service rate. Each fleet run parallelizes over devices on the shared
+/// pool; grid points run in sequence. Every stage is deterministic, so
+/// the table is byte-identical at any `--threads` value.
+///
+/// Per-device telemetry is captured for the headline point only — the
+/// first placement at the smallest device count — to bound output size;
+/// each document carries `device`/`devices`/`placement` meta tags.
+pub(crate) fn fleet_points(opts: &Opts, devices_list: &[usize]) -> Vec<FleetPoint> {
+    assert!(!devices_list.is_empty(), "fleet sweep needs at least one device count");
+    let probe_src = TraceSource::Synthetic(reqblock_trace::profiles::ts_0().scaled(opts.scale));
+    let requests = probe_src.shared_requests();
+    let probe: Vec<reqblock_trace::Request> =
+        requests.iter().map(|r| reqblock_trace::Request { time_ns: 0, ..*r }).collect();
+    let cal = reqblock_sim::run_trace(&SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::Lru), probe);
+    let service_gap_ns = (cal.metrics.max_response_ns / requests.len() as u64).max(1);
+    let device = SimConfig::paper(CacheSizeMb::Mb32, PolicyKind::ReqBlock(ReqBlockConfig::paper()))
+        .with_submit(SubmitMode::Queued { depth: 8 });
+    let ctl = FleetControl::threads(opts.threads);
+    let headline = (fleet_placements()[0], devices_list[0]);
+    let mut points = Vec::new();
+    for placement in fleet_placements() {
+        for &devices in devices_list {
+            let mix = fleet_mix(opts, service_gap_ns, devices);
+            let offered_per_s =
+                mix.tenants.iter().map(|t| t.process.offered_rate_per_s()).collect();
+            let mut cfg = FleetConfig::uniform(devices, device.clone());
+            cfg.placement = placement;
+            cfg.telemetry = (placement, devices) == headline;
+            let loaded = reqblock_sim::run_fleet(&cfg, &mix, &ctl);
+            let mut solo_cfg = cfg.clone();
+            solo_cfg.telemetry = false;
+            let solo =
+                reqblock_sim::run_fleet_excluding(&solo_cfg, &mix, Some(FLEET_ANTAGONIST), &ctl);
+            let nn = NoisyNeighbor {
+                loaded: loaded.metrics,
+                solo: solo.metrics,
+                antagonist: FLEET_ANTAGONIST,
+            };
+            points.push(FleetPoint {
+                placement,
+                devices,
+                nn,
+                offered_per_s,
+                telemetry: loaded.telemetry,
+            });
+        }
+    }
+    points
+}
+
+/// Render the X8 table from analysed points (order of [`fleet_points`]):
+/// one row per tenant plus a `(fleet)` row per grid point. The `p99 solo`
+/// and `NN delta` columns compare against the same-seed run without the
+/// antagonist ("-" for the antagonist itself); `Worst-dev p99` is reported
+/// on the fleet row.
+pub(crate) fn fleet_build(points: &[FleetPoint]) -> Table {
+    let mut t = Table::new(
+        "Extension - X8: fleet-scale multi-tenant QoS (web+usr vs bursty batch antagonist, qd8, 32MB)",
+        &[
+            "Placement",
+            "Devices",
+            "Tenant",
+            "Offered (kreq/s)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p99.9 (ms)",
+            "p99 solo (ms)",
+            "NN delta (ms)",
+            "Worst-dev p99 (ms)",
+        ],
+    );
+    let fmt_opt = |v: Option<f64>| v.map(f3).unwrap_or_else(|| "-".into());
+    for p in points {
+        let loaded = &p.nn.loaded;
+        for (tenant, stats) in loaded.per_tenant.iter().enumerate() {
+            let solo = if tenant == p.nn.antagonist {
+                None
+            } else {
+                p.nn.solo.per_tenant[tenant].percentile_ms(0.99)
+            };
+            t.push_row(vec![
+                p.placement.name().to_string(),
+                p.devices.to_string(),
+                stats.name.clone(),
+                f2(p.offered_per_s[tenant] / 1e3),
+                fmt_opt(stats.percentile_ms(0.50)),
+                fmt_opt(stats.percentile_ms(0.99)),
+                fmt_opt(stats.percentile_ms(0.999)),
+                fmt_opt(solo),
+                fmt_opt(p.nn.p99_delta_ms(tenant)),
+                "-".into(),
+            ]);
+        }
+        t.push_row(vec![
+            p.placement.name().to_string(),
+            p.devices.to_string(),
+            "(fleet)".into(),
+            f2(p.offered_per_s.iter().sum::<f64>() / 1e3),
+            f3(loaded.fleet_percentile_ms(0.50)),
+            f3(loaded.fleet_percentile_ms(0.99)),
+            f3(loaded.fleet_percentile_ms(0.999)),
+            "-".into(),
+            "-".into(),
+            f3(loaded.worst_device_p99_ms()),
+        ]);
+    }
+    t
+}
+
+/// X8 extension over the default [`FLEET_DEVICES`] grid.
+pub fn fleet(opts: &Opts) -> FleetReport {
+    fleet_with_devices(opts, &FLEET_DEVICES)
+}
+
+/// [`fleet`] over a caller-chosen device-count list (`repro fleet
+/// --devices 4,16,64`). The headline telemetry point follows the first
+/// entry.
+pub fn fleet_with_devices(opts: &Opts, devices_list: &[usize]) -> FleetReport {
+    let started = std::time::Instant::now();
+    let points = fleet_points(opts, devices_list);
+    let table = fleet_build(&points);
+    // Each point runs the loaded and the antagonist-withheld fleet.
+    let devices_simulated = points.iter().map(|p| p.devices * 2).sum();
+    let telemetry = points.into_iter().flat_map(|p| p.telemetry).collect();
+    FleetReport { table, telemetry, devices_simulated, elapsed_s: started.elapsed().as_secs_f64() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +1070,51 @@ mod tests {
         for doc in &report.telemetry {
             assert!(doc.contains("attr_sampled_spans"), "shard missing attr rollup");
         }
+    }
+
+    #[test]
+    fn fleet_covers_grid_with_tenant_and_fleet_rows() {
+        let report = fleet(&tiny_opts());
+        let points = fleet_placements().len() * FLEET_DEVICES.len();
+        // One row per tenant plus the fleet row, per grid point.
+        assert_eq!(report.table.rows.len(), points * 4);
+        // Telemetry comes from the headline point only: one document per
+        // device of the smallest fleet.
+        assert_eq!(report.telemetry.len(), FLEET_DEVICES[0]);
+        for doc in &report.telemetry {
+            assert!(doc.contains("\"experiment\":\"fleet\""), "doc missing meta tag");
+        }
+        assert_eq!(report.devices_simulated, 2 * (4 + 16) * 2);
+        for row in &report.table.rows {
+            match row[2].as_str() {
+                // Victims always have a solo p99 and a delta.
+                "web" | "usr" => {
+                    assert_ne!(row[7], "-", "victim must have solo p99: {row:?}");
+                    assert_ne!(row[8], "-", "victim must have NN delta: {row:?}");
+                    assert_eq!(row[9], "-");
+                }
+                // The antagonist has no solo run; the fleet row carries the
+                // worst-device tail.
+                "batch" => {
+                    assert_eq!(row[7], "-");
+                    assert_eq!(row[8], "-");
+                }
+                "(fleet)" => {
+                    let worst: f64 = row[9].parse().unwrap();
+                    let p99: f64 = row[5].parse().unwrap();
+                    assert!(worst >= p99 - 1e-9, "worst device cannot beat the blend: {row:?}");
+                }
+                other => panic!("unexpected tenant {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_is_thread_invariant() {
+        let serial = fleet(&Opts { threads: 1, ..tiny_opts() });
+        let parallel = fleet(&Opts { threads: 3, ..tiny_opts() });
+        assert_eq!(serial.table.rows, parallel.table.rows);
+        assert_eq!(serial.telemetry, parallel.telemetry, "device telemetry must be deterministic");
     }
 
     #[test]

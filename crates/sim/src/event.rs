@@ -536,7 +536,7 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            if state % 3 != 0 || heap.is_empty() {
+            if !state.is_multiple_of(3) || heap.is_empty() {
                 let t = state % 200_000_000; // spans several rotations
                 w.insert(t, seq);
                 heap.push(Reverse((t, seq)));

@@ -1,0 +1,694 @@
+//! Fleet orchestration: many independent simulated SSDs serving a blended
+//! multi-tenant workload (DESIGN.md §7.5).
+//!
+//! The paper evaluates one drive at a time; a production deployment runs
+//! *fleets* of drives behind a placement layer, and the numbers operators
+//! care about — per-tenant p99/p999, the worst device in the fleet, what
+//! one tenant's write bursts cost another tenant's read tail — only exist
+//! at that scale. This module provides the smallest honest model of it:
+//!
+//! * A [`TenantMix`] describes the tenants: each [`TenantSpec`] names a
+//!   workload profile (the calibrated Zipf/MSR synthetics or any
+//!   [`WorkloadProfile`]), an open-loop [`ArrivalProcess`], and a seed.
+//!   Each tenant's full request stream is generated **once**, independent
+//!   of the device count and of every other tenant, so adding or removing
+//!   a tenant never perturbs another tenant's arrivals.
+//! * A [`Placement`] maps each tenant request to a device purely from
+//!   `(tenant index, request sequence number, device count)` — no RNG, no
+//!   load feedback — so the sharding is reproducible by construction.
+//! * [`run_fleet`] drives one fresh [`Ssd`] per device over its merged
+//!   stream on the barrier-free task pool ([`run_task_pool`]), with an
+//!   optional wall-clock [`FleetControl::device_starts_per_s`] rate
+//!   limiter and progress reporting, and aggregates per-device results
+//!   into [`FleetMetrics`] in device order.
+//! * [`noisy_neighbor`] reruns the same fleet with one tenant's stream
+//!   removed — same seeds, same placement indices for everyone else — so
+//!   the per-tenant p99 delta isolates interference, not RNG drift.
+//!
+//! # Byte-identity at any thread count
+//!
+//! Every source of nondeterminism is pinned:
+//!
+//! 1. Tenant streams are deterministic in `(profile, process, seed)`
+//!    ([`ArrivalProcess::rewrite`] uses a seeded xorshift64*).
+//! 2. Placement is a pure function of indices.
+//! 3. Per-device merge order is the total order `(time_ns, tenant index,
+//!    sequence number)` — a stable tie-break even when two tenants'
+//!    arrivals collide on the nanosecond.
+//! 4. Devices are simulated independently (a fresh [`Ssd`] each); workers
+//!    only fill a dedicated `OnceLock` slot per device.
+//! 5. Aggregation walks the slots in device order on the calling thread.
+//!
+//! The thread pool therefore only decides *when* each device is simulated,
+//! never *what* any device computes or the order results are merged —
+//! [`FleetMetrics`] is byte-identical at any `threads` value. The
+//! wall-clock rate limiter and progress counter touch nothing the
+//! simulation reads, so they cannot break this either. `tests/fleet.rs`
+//! pins the property (proptest across thread counts) and a small-fleet
+//! golden.
+
+use crate::config::SimConfig;
+use crate::host::Ssd;
+use crate::load::ArrivalProcess;
+use crate::runner::{run_task_pool, Task, TraceSource};
+use reqblock_obs::telemetry::to_jsonl;
+use reqblock_obs::{Histogram, MemoryRecorder};
+use reqblock_trace::{Request, WorkloadProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One tenant of the fleet: a named request stream with its own arrival
+/// process and seed.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (`"web"`, `"batch"`, ...).
+    pub name: String,
+    /// The request mix: ops, addresses, sizes. Arrival times are replaced
+    /// by `process`, so only the mix matters here.
+    pub profile: WorkloadProfile,
+    /// Open-loop arrival process re-timing the profile's requests.
+    pub process: ArrivalProcess,
+    /// Seed of this tenant's arrival RNG. Independent per tenant: two
+    /// tenants never share a generator, so removing one cannot shift
+    /// another's arrivals.
+    pub seed: u64,
+}
+
+impl TenantSpec {
+    /// This tenant's full request stream: the profile synthesized once
+    /// (shared process-wide via the trace cache) and re-timed by the
+    /// arrival process. Deterministic in `(profile, process, seed)`.
+    pub fn stream(&self) -> Vec<Request> {
+        let base = TraceSource::Synthetic(self.profile.clone()).shared_requests();
+        self.process.rewrite(&base, self.seed)
+    }
+}
+
+/// The blended tenant population offered to the fleet.
+#[derive(Debug, Clone, Default)]
+pub struct TenantMix {
+    /// The tenants, in a fixed order; the index into this vector is the
+    /// tenant's identity everywhere (placement, metrics, exclusion).
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl TenantMix {
+    /// A mix over the given tenants.
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        Self { tenants }
+    }
+
+    /// Every tenant's stream, index-aligned with [`TenantMix::tenants`].
+    pub fn streams(&self) -> Vec<Vec<Request>> {
+        self.tenants.iter().map(TenantSpec::stream).collect()
+    }
+}
+
+/// Deterministic map from a tenant request to a device. Placement is a
+/// pure function of `(tenant, sequence number, device count)`: no RNG and
+/// no load feedback, so the same mix always shards identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Every tenant's requests round-robin over **all** devices: request
+    /// `k` of any tenant lands on device `k % devices`. Maximum spreading,
+    /// maximum inter-tenant contact.
+    Striped,
+    /// Each tenant owns a group of `devices_per_tenant` consecutive
+    /// devices starting at `tenant * devices_per_tenant` (mod the device
+    /// count) and round-robins within its group. Tenants collide only when
+    /// the groups wrap — packing isolates tenants when the fleet is large
+    /// enough and degrades gracefully (sharing) when it is not.
+    Packed {
+        /// Devices in each tenant's group (clamped to `1..=devices`).
+        devices_per_tenant: usize,
+    },
+}
+
+impl Placement {
+    /// The device that serves request `seq` of tenant `tenant` in a fleet
+    /// of `devices` devices.
+    pub fn device_for(&self, tenant: usize, seq: usize, devices: usize) -> usize {
+        debug_assert!(devices > 0);
+        match *self {
+            Placement::Striped => seq % devices,
+            Placement::Packed { devices_per_tenant } => {
+                let group = devices_per_tenant.clamp(1, devices);
+                (tenant * group + seq % group) % devices
+            }
+        }
+    }
+
+    /// Short stable name for labels (`"striped"` / `"packed"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Striped => "striped",
+            Placement::Packed { .. } => "packed",
+        }
+    }
+}
+
+/// The fleet itself: one [`SimConfig`] per device plus the placement map.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// One configuration per device — each device may have its own
+    /// geometry, policy, cache size, submit mode, and fault config. Use
+    /// [`FleetConfig::uniform`] for the common identical-hardware case.
+    pub devices: Vec<SimConfig>,
+    /// How tenant requests are sharded onto devices.
+    pub placement: Placement,
+    /// When set, every device records its run into a [`MemoryRecorder`]
+    /// and its aggregate telemetry (counters, gauges, spans, series) is
+    /// returned as one JSONL document per device in
+    /// [`FleetResult::telemetry`], tagged with the device index — ready
+    /// for a rotating [`reqblock_obs::TelemetryWriter`].
+    pub telemetry: bool,
+}
+
+impl FleetConfig {
+    /// A fleet of `devices` identical drives built from `template`, striped
+    /// placement. When the template injects faults, each device's fault
+    /// seed is offset by its index so fault streams decorrelate across the
+    /// fleet (a real fleet does not fail in lockstep) while staying fully
+    /// deterministic.
+    pub fn uniform(devices: usize, template: SimConfig) -> Self {
+        assert!(devices > 0, "a fleet needs at least one device");
+        let devices = (0..devices)
+            .map(|i| {
+                let mut cfg = template.clone();
+                cfg.fault.seed = cfg.fault.seed.wrapping_add(i as u64);
+                cfg
+            })
+            .collect();
+        Self { devices, placement: Placement::Striped, telemetry: false }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// Execution knobs that cannot affect simulation output: worker threads,
+/// the global wall-clock rate limiter, and progress reporting.
+#[derive(Debug, Clone)]
+pub struct FleetControl {
+    /// Worker threads for the device pool; `1` is the explicit serial
+    /// mode. Results are byte-identical at every value.
+    pub threads: usize,
+    /// Global rate limiter: at most this many device simulations *started*
+    /// per wall-clock second, enforced across all workers. Paces host load
+    /// (CPU, page cache) when a huge fleet shares a machine with other
+    /// work; it delays starts only and cannot change any result.
+    pub device_starts_per_s: Option<f64>,
+    /// Report `fleet: <done>/<total> devices` to stderr every this many
+    /// completed devices (stdout artifacts stay clean).
+    pub progress_every: Option<usize>,
+}
+
+impl Default for FleetControl {
+    fn default() -> Self {
+        Self { threads: 1, device_starts_per_s: None, progress_every: None }
+    }
+}
+
+impl FleetControl {
+    /// `threads` workers, no pacing, no progress output.
+    pub fn threads(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
+    }
+}
+
+/// Token-interval pacer behind [`FleetControl::device_starts_per_s`]: each
+/// start claims the next slot of a fixed-interval schedule and sleeps
+/// until it. Wall-clock only — the simulation never reads it.
+struct Pacer {
+    interval: Duration,
+    next: Mutex<Instant>,
+}
+
+impl Pacer {
+    fn new(starts_per_s: f64) -> Self {
+        assert!(
+            starts_per_s.is_finite() && starts_per_s > 0.0,
+            "device start rate must be positive"
+        );
+        Self { interval: Duration::from_secs_f64(1.0 / starts_per_s), next: Mutex::new(Instant::now()) }
+    }
+
+    fn wait(&self) {
+        let at = {
+            let mut next = self.next.lock().unwrap();
+            let at = (*next).max(Instant::now());
+            *next = at + self.interval;
+            at
+        };
+        let now = Instant::now();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+    }
+}
+
+/// Fleet-wide response statistics for one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name, copied from the [`TenantSpec`].
+    pub name: String,
+    /// Requests this tenant completed across the whole fleet.
+    pub requests: u64,
+    /// Response-time histogram (ns) merged across every device, latency
+    /// preset shape.
+    pub hist: Histogram,
+}
+
+impl TenantStats {
+    /// Response quantile upper bound in milliseconds (`None` when the
+    /// tenant completed no requests).
+    pub fn percentile_ms(&self, q: f64) -> Option<f64> {
+        self.hist.quantile_upper(q).map(|ns| ns as f64 / 1e6)
+    }
+}
+
+/// One device's contribution to the fleet aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSummary {
+    /// Requests this device served.
+    pub requests: u64,
+    /// p99 response upper bound on this device, ns (0 when idle).
+    pub p99_ns: u64,
+}
+
+/// Aggregated fleet results: per-tenant and fleet-wide response
+/// distributions plus per-device tails. Built by merging per-device
+/// histograms in device order, so it is byte-identical at any thread
+/// count (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Per-tenant stats, index-aligned with the [`TenantMix`].
+    pub per_tenant: Vec<TenantStats>,
+    /// Every response across every tenant and device.
+    pub fleet: Histogram,
+    /// Per-device summaries, device order.
+    pub per_device: Vec<DeviceSummary>,
+}
+
+impl FleetMetrics {
+    /// Devices in the fleet.
+    pub fn devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Fleet-wide response quantile upper bound in milliseconds (0 when
+    /// the fleet served nothing).
+    pub fn fleet_percentile_ms(&self, q: f64) -> f64 {
+        self.fleet.quantile_upper(q).unwrap_or(0) as f64 / 1e6
+    }
+
+    /// The worst single-device p99 in the fleet, ns.
+    pub fn worst_device_p99_ns(&self) -> u64 {
+        self.per_device.iter().map(|d| d.p99_ns).max().unwrap_or(0)
+    }
+
+    /// [`FleetMetrics::worst_device_p99_ns`] in milliseconds.
+    pub fn worst_device_p99_ms(&self) -> f64 {
+        self.worst_device_p99_ns() as f64 / 1e6
+    }
+}
+
+/// Everything one fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// The deterministic aggregate (compare this across thread counts).
+    pub metrics: FleetMetrics,
+    /// One telemetry JSONL document per device when
+    /// [`FleetConfig::telemetry`] is set (device order), else empty.
+    pub telemetry: Vec<String>,
+    /// Host wall-clock seconds the whole fleet took (throughput
+    /// reporting; not deterministic, not part of [`FleetMetrics`]).
+    pub host_elapsed_s: f64,
+}
+
+impl FleetResult {
+    /// Devices simulated per host wall-clock second (0 when untimeable).
+    pub fn devices_per_sec(&self) -> f64 {
+        if self.host_elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.devices() as f64 / self.host_elapsed_s
+    }
+}
+
+/// What one device's worker computes before aggregation.
+struct DeviceOutcome {
+    per_tenant: Vec<Histogram>,
+    all: Histogram,
+    requests: u64,
+    telemetry: Option<String>,
+}
+
+/// Shard every tenant stream onto devices and return each device's merged
+/// stream as `(request, tenant index)` in simulation order — sorted by
+/// `(time_ns, tenant, seq)`, a total order, so the merge is unambiguous
+/// even when arrivals collide on the nanosecond.
+fn shard(
+    streams: &[Vec<Request>],
+    placement: Placement,
+    devices: usize,
+    exclude: Option<usize>,
+) -> Vec<Vec<(Request, u32)>> {
+    let mut per_device: Vec<Vec<(Request, u32, u32)>> = vec![Vec::new(); devices];
+    for (tenant, stream) in streams.iter().enumerate() {
+        if exclude == Some(tenant) {
+            continue;
+        }
+        for (seq, req) in stream.iter().enumerate() {
+            let d = placement.device_for(tenant, seq, devices);
+            per_device[d].push((*req, tenant as u32, seq as u32));
+        }
+    }
+    per_device
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable_by_key(|&(req, tenant, seq)| (req.time_ns, tenant, seq));
+            v.into_iter().map(|(req, tenant, _)| (req, tenant)).collect()
+        })
+        .collect()
+}
+
+/// Run the fleet: every device simulated independently over its merged
+/// stream, aggregated into [`FleetMetrics`] in device order. See the
+/// module docs for the determinism argument.
+pub fn run_fleet(cfg: &FleetConfig, mix: &TenantMix, ctl: &FleetControl) -> FleetResult {
+    run_fleet_excluding(cfg, mix, None, ctl)
+}
+
+/// [`run_fleet`] with one tenant's stream withheld. Crucially the excluded
+/// tenant keeps its index: every other tenant's stream, seed, and
+/// placement slots are bit-identical to the full run, so comparing the
+/// two isolates interference. The excluded tenant appears in the result
+/// with zero requests.
+pub fn run_fleet_excluding(
+    cfg: &FleetConfig,
+    mix: &TenantMix,
+    exclude: Option<usize>,
+    ctl: &FleetControl,
+) -> FleetResult {
+    let devices = cfg.device_count();
+    assert!(devices > 0, "a fleet needs at least one device");
+    let started = Instant::now();
+    let streams = mix.streams();
+    let shards = shard(&streams, cfg.placement, devices, exclude);
+    let tenants = mix.tenants.len();
+
+    let pacer = ctl.device_starts_per_s.map(Pacer::new);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<DeviceOutcome>> = (0..devices).map(|_| OnceLock::new()).collect();
+    let tasks: Vec<Task<'_>> = cfg
+        .devices
+        .iter()
+        .zip(&shards)
+        .zip(&slots)
+        .enumerate()
+        .map(|(idx, ((dev_cfg, stream), slot))| {
+            let pacer = &pacer;
+            let done = &done;
+            Task::new(format!("fleet/device{idx}"), move || {
+                if let Some(p) = pacer {
+                    p.wait();
+                }
+                let mut per_tenant = vec![Histogram::latency(); tenants];
+                let mut all = Histogram::latency();
+                let mut ssd = Ssd::new(dev_cfg.clone());
+                let mut rec = cfg.telemetry.then(MemoryRecorder::default);
+                for (req, tenant) in stream {
+                    let response = match &mut rec {
+                        Some(rec) => ssd.submit_recorded(req, rec),
+                        None => ssd.submit(req),
+                    };
+                    per_tenant[*tenant as usize].record(response);
+                    all.record(response);
+                }
+                let telemetry = rec.map(|mut rec| {
+                    ssd.finish_recording(&mut rec);
+                    to_jsonl(
+                        &rec,
+                        &[
+                            ("experiment", "fleet".into()),
+                            ("device", idx.to_string()),
+                            ("devices", devices.to_string()),
+                            ("placement", cfg.placement.name().into()),
+                        ],
+                    )
+                });
+                let outcome =
+                    DeviceOutcome { per_tenant, requests: all.count(), all, telemetry };
+                let ok = slot.set(outcome).is_ok();
+                debug_assert!(ok, "fleet device slot filled twice");
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(every) = ctl.progress_every {
+                    if every > 0 && (finished.is_multiple_of(every) || finished == devices) {
+                        eprintln!("fleet: {finished}/{devices} devices");
+                    }
+                }
+            })
+        })
+        .collect();
+    run_task_pool(tasks, ctl.threads);
+
+    // Aggregate strictly in device order on this thread: thread-count
+    // invariance lives here.
+    let mut per_tenant: Vec<TenantStats> = mix
+        .tenants
+        .iter()
+        .map(|t| TenantStats { name: t.name.clone(), requests: 0, hist: Histogram::latency() })
+        .collect();
+    let mut fleet = Histogram::latency();
+    let mut per_device = Vec::with_capacity(devices);
+    let mut telemetry = Vec::new();
+    for slot in slots {
+        let outcome = slot.into_inner().expect("every fleet device must finish");
+        for (stats, h) in per_tenant.iter_mut().zip(&outcome.per_tenant) {
+            stats.hist.merge(h);
+            stats.requests += h.count();
+        }
+        fleet.merge(&outcome.all);
+        per_device.push(DeviceSummary {
+            requests: outcome.requests,
+            p99_ns: outcome.all.quantile_upper(0.99).unwrap_or(0),
+        });
+        if let Some(doc) = outcome.telemetry {
+            telemetry.push(doc);
+        }
+    }
+    FleetResult {
+        metrics: FleetMetrics { per_tenant, fleet, per_device },
+        telemetry,
+        host_elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The noisy-neighbor experiment: the same fleet run with and without one
+/// antagonist tenant, same seeds and placement for everyone else.
+#[derive(Debug, Clone)]
+pub struct NoisyNeighbor {
+    /// The full mix, antagonist included.
+    pub loaded: FleetMetrics,
+    /// The mix with the antagonist's stream withheld (its tenant slot
+    /// remains, with zero requests).
+    pub solo: FleetMetrics,
+    /// Index of the antagonist tenant in the mix.
+    pub antagonist: usize,
+}
+
+impl NoisyNeighbor {
+    /// How much the antagonist adds to `tenant`'s p99, in milliseconds
+    /// (loaded minus solo). `None` for the antagonist itself and for
+    /// tenants with no completed requests in either run.
+    pub fn p99_delta_ms(&self, tenant: usize) -> Option<f64> {
+        if tenant == self.antagonist {
+            return None;
+        }
+        let loaded = self.loaded.per_tenant.get(tenant)?.percentile_ms(0.99)?;
+        let solo = self.solo.per_tenant.get(tenant)?.percentile_ms(0.99)?;
+        Some(loaded - solo)
+    }
+}
+
+/// Run the fleet twice — with the full mix and with `antagonist` withheld —
+/// and return both aggregates. Victim tenants keep byte-identical streams
+/// and placement slots in both runs, so per-tenant deltas measure
+/// interference alone (BARD's framing: one tenant's flush bursts surface
+/// in another tenant's read tail).
+pub fn noisy_neighbor(
+    cfg: &FleetConfig,
+    mix: &TenantMix,
+    antagonist: usize,
+    ctl: &FleetControl,
+) -> NoisyNeighbor {
+    assert!(antagonist < mix.tenants.len(), "antagonist index out of range");
+    let loaded = run_fleet(cfg, mix, ctl).metrics;
+    let solo = run_fleet_excluding(cfg, mix, Some(antagonist), ctl).metrics;
+    NoisyNeighbor { loaded, solo, antagonist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheSizeMb, PolicyKind};
+    use reqblock_flash::FaultConfig;
+    use reqblock_trace::profiles::{proj_0, ts_0};
+
+    fn tiny_mix() -> TenantMix {
+        TenantMix::new(vec![
+            TenantSpec {
+                name: "victim".into(),
+                profile: ts_0().scaled(0.002),
+                process: ArrivalProcess::poisson_rate(50_000.0),
+                seed: 11,
+            },
+            TenantSpec {
+                name: "antagonist".into(),
+                profile: proj_0().scaled(0.002),
+                process: ArrivalProcess::Bursty {
+                    mean_interarrival_ns: 20_000,
+                    burst_len: 32,
+                    peak_to_mean: 8,
+                },
+                seed: 22,
+            },
+        ])
+    }
+
+    fn tiny_fleet(devices: usize) -> FleetConfig {
+        FleetConfig::uniform(devices, SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru))
+    }
+
+    #[test]
+    fn striped_placement_round_robins_over_all_devices() {
+        let p = Placement::Striped;
+        let hits: Vec<usize> = (0..8).map(|seq| p.device_for(3, seq, 4)).collect();
+        assert_eq!(hits, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn packed_placement_confines_each_tenant_to_its_group() {
+        let p = Placement::Packed { devices_per_tenant: 2 };
+        for seq in 0..10 {
+            assert!([0, 1].contains(&p.device_for(0, seq, 4)));
+            assert!([2, 3].contains(&p.device_for(1, seq, 4)));
+            // Third tenant wraps onto the first group.
+            assert!([0, 1].contains(&p.device_for(2, seq, 4)));
+        }
+        // Group size clamps to the fleet.
+        let wide = Placement::Packed { devices_per_tenant: 99 };
+        let devs: std::collections::BTreeSet<usize> =
+            (0..12).map(|seq| wide.device_for(0, seq, 3)).collect();
+        assert_eq!(devs.len(), 3, "clamped group must still use every device");
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_thread_invariant() {
+        let cfg = tiny_fleet(3);
+        let mix = tiny_mix();
+        let serial = run_fleet(&cfg, &mix, &FleetControl::threads(1));
+        let parallel = run_fleet(&cfg, &mix, &FleetControl::threads(4));
+        assert_eq!(serial.metrics, parallel.metrics);
+        let again = run_fleet(&cfg, &mix, &FleetControl::threads(4));
+        assert_eq!(parallel.metrics, again.metrics);
+    }
+
+    #[test]
+    fn excluding_the_antagonist_keeps_victim_slots_and_zeroes_its_traffic() {
+        let cfg = tiny_fleet(4);
+        let mix = tiny_mix();
+        let ctl = FleetControl::threads(2);
+        let nn = noisy_neighbor(&cfg, &mix, 1, &ctl);
+        // Tenant slots persist in both runs.
+        assert_eq!(nn.loaded.per_tenant.len(), 2);
+        assert_eq!(nn.solo.per_tenant.len(), 2);
+        assert_eq!(nn.solo.per_tenant[1].requests, 0, "withheld tenant serves nothing");
+        // The victim completes the same number of requests either way —
+        // interference changes response times, never the request stream.
+        assert_eq!(nn.loaded.per_tenant[0].requests, nn.solo.per_tenant[0].requests);
+        assert!(nn.loaded.per_tenant[0].requests > 0);
+        // The antagonist's own delta is undefined by construction.
+        assert!(nn.p99_delta_ms(1).is_none());
+        assert!(nn.p99_delta_ms(0).is_some());
+    }
+
+    #[test]
+    fn sharding_covers_every_request_exactly_once() {
+        let mix = tiny_mix();
+        let streams = mix.streams();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        for placement in [Placement::Striped, Placement::Packed { devices_per_tenant: 2 }] {
+            let shards = shard(&streams, placement, 4, None);
+            assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), total);
+            for dev in &shards {
+                let mut prev = 0;
+                for (req, _) in dev {
+                    assert!(req.time_ns >= prev, "device stream must stay time-ordered");
+                    prev = req.time_ns;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_emits_one_document_per_device() {
+        let mut cfg = tiny_fleet(3);
+        cfg.telemetry = true;
+        let result = run_fleet(&cfg, &tiny_mix(), &FleetControl::threads(2));
+        assert_eq!(result.telemetry.len(), 3);
+        for (i, doc) in result.telemetry.iter().enumerate() {
+            assert!(doc.starts_with("{\"type\":\"run_meta\""), "doc must lead with meta");
+            assert!(doc.contains(&format!("\"device\":\"{i}\"")), "device tag missing");
+            assert!(doc.contains("\"key\":\"requests\""), "rollup counter missing");
+        }
+        // Telemetry capture must not perturb the simulation.
+        let mut plain_cfg = tiny_fleet(3);
+        plain_cfg.telemetry = false;
+        let plain = run_fleet(&plain_cfg, &tiny_mix(), &FleetControl::threads(2));
+        assert_eq!(plain.metrics, result.metrics);
+    }
+
+    #[test]
+    fn pacing_and_progress_do_not_change_results() {
+        let cfg = tiny_fleet(2);
+        let mix = tiny_mix();
+        let plain = run_fleet(&cfg, &mix, &FleetControl::threads(2));
+        let paced = run_fleet(
+            &cfg,
+            &mix,
+            &FleetControl {
+                threads: 2,
+                device_starts_per_s: Some(1e6),
+                progress_every: Some(1),
+            },
+        );
+        assert_eq!(plain.metrics, paced.metrics);
+    }
+
+    #[test]
+    fn uniform_fleet_offsets_fault_seeds_per_device() {
+        let template = SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru)
+            .with_faults(FaultConfig::with_rates(100, 1_000, 0, 0));
+        let cfg = FleetConfig::uniform(3, template);
+        let seeds: Vec<u64> = cfg.devices.iter().map(|d| d.fault.seed).collect();
+        assert_eq!(seeds, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn fleet_metrics_accessors_cover_empty_and_loaded_cases() {
+        let cfg = tiny_fleet(2);
+        let m = run_fleet(&cfg, &tiny_mix(), &FleetControl::threads(1)).metrics;
+        assert_eq!(m.devices(), 2);
+        assert!(m.fleet_percentile_ms(0.99) > 0.0);
+        assert!(m.worst_device_p99_ms() >= m.fleet_percentile_ms(0.5));
+        let empty = run_fleet(&cfg, &TenantMix::default(), &FleetControl::threads(1)).metrics;
+        assert_eq!(empty.fleet_percentile_ms(0.99), 0.0);
+        assert_eq!(empty.worst_device_p99_ns(), 0);
+        assert!(empty.per_tenant.is_empty());
+    }
+}

@@ -33,6 +33,9 @@
 //! * [`Metrics`] — hit/response/eviction counters (Figures 8-11).
 //! * [`probes`] — figure-specific recorder consumers (Figures 2, 3).
 //! * [`runner`] — whole-trace execution and multi-run sweeps.
+//! * [`fleet`] — fleet orchestration: many independent devices under a
+//!   blended multi-tenant workload, with deterministic placement,
+//!   per-tenant response aggregation and noisy-neighbor measurement.
 //!
 //! Observability: pass any [`reqblock_obs::Recorder`] to the `*_recorded`
 //! entry points to capture page events, flush-wait spans, the end-of-run
@@ -53,6 +56,7 @@ pub mod config;
 pub mod device;
 pub mod engine;
 pub mod event;
+pub mod fleet;
 pub mod host;
 pub mod load;
 pub mod metrics;
@@ -64,6 +68,10 @@ pub use config::{CacheSizeMb, PolicyKind, SampleInterval, SimConfig};
 pub use device::Device;
 pub use engine::Engine;
 pub use event::{ChipCursors, TimerWheel};
+pub use fleet::{
+    noisy_neighbor, run_fleet, run_fleet_excluding, DeviceSummary, FleetConfig, FleetControl,
+    FleetMetrics, FleetResult, NoisyNeighbor, Placement, TenantMix, TenantSpec, TenantStats,
+};
 pub use host::{FlushWindow, Ssd, SubmitMode};
 pub use load::ArrivalProcess;
 pub use reqblock_flash::{DegradedMode, FaultConfig, FaultStats};

@@ -23,11 +23,10 @@ proptest! {
     fn wheel_drains_like_reference_heap(ops in schedule()) {
         let mut w = TimerWheel::with_capacity(8);
         let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        for (t, pop) in ops {
+        for (seq, (t, pop)) in ops.into_iter().enumerate() {
+            let seq = seq as u64;
             w.insert(t, seq);
             heap.push(Reverse((t, seq)));
-            seq += 1;
             if pop {
                 let Reverse(expect) = heap.pop().unwrap();
                 prop_assert_eq!(w.pop_earliest(), Some(expect));

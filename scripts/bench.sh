@@ -34,9 +34,14 @@
 #   bench also asserts all three modes emit byte-identical artifacts, so
 #   this doubles as an end-to-end determinism check.
 #
+# Fleet throughput (informational, NO gate): a small `repro fleet` grid is
+#   timed and its devices-simulated-per-second line is echoed, so fleet
+#   orchestration cost is visible in bench logs without a machine-sensitive
+#   pass/fail bar. --no-fleet skips it.
+#
 # Usage: scripts/bench.sh [--scale S] [--repeats N] [--attempts N]
 #                         [--sweep-scale S] [--sweep-repeats N]
-#                         [--sweep-attempts N] [--no-sweep]
+#                         [--sweep-attempts N] [--no-sweep] [--no-fleet]
 #        NOOP_TOLERANCE=0.02 REGRESSION_TOLERANCE=0.20 SYNC_TOLERANCE=0.05 \
 #            QUEUED_TOLERANCE=0.15 ATTR_TOLERANCE=0.02 SWEEP_TOLERANCE=0.05 \
 #            scripts/bench.sh
@@ -53,6 +58,7 @@ SWEEP_SCALE=0.02
 SWEEP_REPEATS=3
 SWEEP_ATTEMPTS=2
 RUN_SWEEP=1
+RUN_FLEET=1
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --scale) SCALE="$2"; shift 2 ;;
@@ -62,6 +68,7 @@ while [[ $# -gt 0 ]]; do
         --sweep-repeats) SWEEP_REPEATS="$2"; shift 2 ;;
         --sweep-attempts) SWEEP_ATTEMPTS="$2"; shift 2 ;;
         --no-sweep) RUN_SWEEP=0; shift ;;
+        --no-fleet) RUN_FLEET=0; shift ;;
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
@@ -77,7 +84,8 @@ for ((i = 1; i <= ATTEMPTS; i++)); do
     ./target/release/hotpath --scale "$SCALE" --repeats "$REPEATS" --out "$OUT"
 done
 SWEEP_OUTS=()
-trap 'rm -f "${OUTS[@]}" "${SWEEP_OUTS[@]}"' EXIT
+FLEET_TMP=""
+trap 'rm -f "${OUTS[@]}" "${SWEEP_OUTS[@]}"; [[ -n "$FLEET_TMP" ]] && rm -rf "$FLEET_TMP"' EXIT
 
 echo "== comparing against committed BENCH_hotpath.json (median gate) =="
 python3 - "${OUTS[@]}" <<'PY'
@@ -276,4 +284,13 @@ PY
     echo "== sweep within tolerance =="
 else
     echo "== sweep bench skipped (--no-sweep) =="
+fi
+
+if [[ "$RUN_FLEET" == 1 ]]; then
+    echo "== fleet throughput (informational, no gate) =="
+    cargo build --release -p reqblock-experiments --bin repro
+    FLEET_TMP=$(mktemp -d /tmp/fleet.XXXXXX)
+    ./target/release/repro --scale 0.01 --out "$FLEET_TMP" fleet | grep "fleet throughput"
+else
+    echo "== fleet throughput skipped (--no-fleet) =="
 fi

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: release build, every test (including the Perfetto
-# trace-JSON smoke test, tests/trace_smoke.rs), clippy with warnings
+# trace-JSON smoke test, tests/trace_smoke.rs, and an explicit release
+# run of the small-fleet golden, tests/fleet.rs), clippy with warnings
 # denied, and the benchmark gates from scripts/bench.sh — the hot-path
 # median gates (the <2% no-op recorder overhead check and the <2%
 # attribution-compiled-out check) plus the small-scale sweep gate
@@ -26,6 +27,9 @@ cargo build --release
 
 echo "== cargo test =="
 cargo test -q
+
+echo "== small-fleet golden (tests/fleet.rs, release) =="
+cargo test -q --release --test fleet
 
 echo "== cargo clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,116 @@
+//! Fleet-layer integration tests: the byte-identity contract of
+//! `reqblock_sim::fleet` (DESIGN.md §7.5).
+//!
+//! The property test drives random small fleets — device count, thread
+//! count, placement, and tenant seeds all vary — and requires the
+//! aggregated [`FleetMetrics`] to be *equal* (derived `PartialEq`, i.e.
+//! every histogram bucket, every per-device summary) between a
+//! single-threaded and a multi-threaded run of the same fleet. The
+//! golden test then pins one 2-tenant × 4-device fleet exactly, so the
+//! tenant-stream synthesis, placement sharding, per-device simulation
+//! and device-order aggregation cannot drift silently.
+
+use proptest::prelude::*;
+use reqblock::sim::{
+    run_fleet, ArrivalProcess, CacheSizeMb, FleetConfig, FleetControl, Placement, PolicyKind,
+    SimConfig, TenantMix, TenantSpec,
+};
+use reqblock::trace::profiles::{proj_0, ts_0};
+
+/// A 2-tenant mix: a Poisson "victim" over a read-heavy profile and a
+/// bursty "antagonist" over a write-heavy one. Deterministic in the
+/// seeds, so golden-pinnable.
+fn two_tenant_mix(victim_seed: u64, antagonist_seed: u64) -> TenantMix {
+    TenantMix::new(vec![
+        TenantSpec {
+            name: "victim".into(),
+            profile: ts_0().scaled(0.002),
+            process: ArrivalProcess::poisson_rate(50_000.0),
+            seed: victim_seed,
+        },
+        TenantSpec {
+            name: "antagonist".into(),
+            profile: proj_0().scaled(0.002),
+            process: ArrivalProcess::Bursty {
+                mean_interarrival_ns: 20_000,
+                burst_len: 32,
+                peak_to_mean: 8,
+            },
+            seed: antagonist_seed,
+        },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fleet aggregation is thread-invariant: any thread count produces
+    /// byte-identical `FleetMetrics` for the same fleet.
+    #[test]
+    fn fleet_aggregation_is_thread_invariant(
+        devices in 1usize..6,
+        threads in 2usize..5,
+        victim_seed in 0u64..1_000,
+        antagonist_seed in 0u64..1_000,
+        packed in any::<bool>(),
+    ) {
+        let mix = two_tenant_mix(victim_seed, antagonist_seed);
+        let mut cfg = FleetConfig::uniform(
+            devices,
+            SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru),
+        );
+        cfg.placement = if packed {
+            Placement::Packed { devices_per_tenant: 2 }
+        } else {
+            Placement::Striped
+        };
+        cfg.telemetry = true;
+
+        let serial = run_fleet(&cfg, &mix, &FleetControl::threads(1));
+        let pooled = run_fleet(&cfg, &mix, &FleetControl::threads(threads));
+        prop_assert_eq!(&serial.metrics, &pooled.metrics);
+        prop_assert_eq!(&serial.telemetry, &pooled.telemetry);
+    }
+}
+
+/// Pinned small-fleet golden: 2 tenants × 4 devices on the paper 16 MB
+/// LRU config. Every number below was produced by this test and frozen;
+/// a change means the fleet layer (tenant synthesis, arrival re-timing,
+/// placement, simulation, or aggregation) changed behaviour and the new
+/// values must be justified before re-pinning.
+#[test]
+fn small_fleet_golden() {
+    let mix = two_tenant_mix(11, 22);
+    let cfg = FleetConfig::uniform(4, SimConfig::paper(CacheSizeMb::Mb16, PolicyKind::Lru));
+    let result = run_fleet(&cfg, &mix, &FleetControl::threads(2));
+    let m = &result.metrics;
+
+    let victim = &m.per_tenant[0];
+    let antagonist = &m.per_tenant[1];
+    assert_eq!(victim.name, "victim");
+    assert_eq!(antagonist.name, "antagonist");
+
+    let got = (
+        victim.requests,
+        victim.hist.quantile_upper(0.99),
+        antagonist.requests,
+        antagonist.hist.quantile_upper(0.99),
+        m.fleet.quantile_upper(0.50),
+        m.fleet.quantile_upper(0.99),
+        m.fleet.quantile_upper(0.999),
+        m.worst_device_p99_ns(),
+        m.per_device.iter().map(|d| d.requests).collect::<Vec<_>>(),
+    );
+    let want = (
+        3603u64,
+        Some(131_072_000),
+        8449u64,
+        Some(964_196_761),
+        Some(2_000),
+        Some(964_196_761),
+        Some(964_196_761),
+        964_196_761u64,
+        vec![3014u64, 3013, 3013, 3012],
+    );
+    assert_eq!(got, want, "small-fleet golden drifted");
+}
